@@ -1,0 +1,38 @@
+// Shared helpers for the figure/table harnesses.
+//
+// Every harness prints the paper-figure series it regenerates. Scale knobs:
+// MAGESIM_SCALE=0.25..4 multiplies working-set/op counts (default 1), so the
+// full suite finishes in minutes on one host core while remaining faithful in
+// shape. Determinism: all randomness is seeded; same scale => same output.
+#ifndef MAGESIM_BENCH_BENCH_COMMON_H_
+#define MAGESIM_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/farmem.h"
+#include "src/core/ideal_model.h"
+#include "src/core/report.h"
+#include "src/paging/kernels.h"
+
+namespace magesim {
+
+inline double BenchScale() {
+  const char* s = std::getenv("MAGESIM_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  return static_cast<uint64_t>(static_cast<double>(base) * BenchScale());
+}
+
+// Offloading sweep used by most application figures (percent far memory).
+inline std::vector<int> OffloadSweep() { return {0, 10, 20, 30, 40, 50, 60, 70, 80, 90}; }
+
+}  // namespace magesim
+
+#endif  // MAGESIM_BENCH_BENCH_COMMON_H_

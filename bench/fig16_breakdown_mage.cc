@@ -1,0 +1,50 @@
+// Figure 16: average fault-handler latency breakdown of DiLOS vs the MAGE
+// variants at 24 and 48 threads. MAGE-Lib eliminates TLB work from the fault
+// path, shrinks accounting via partitioning, and shrinks circulation via the
+// multilayer allocator.
+#include "bench/bench_common.h"
+#include "src/workloads/seqscan.h"
+
+namespace magesim {
+namespace {
+
+RunResult RunCase(const KernelConfig& cfg, int threads) {
+  SeqScanWorkload wl({.region_pages = Scaled(1200) * static_cast<uint64_t>(threads),
+                      .threads = threads,
+                      .passes = 1000,
+                      .compute_per_page_ns = 100});
+  FarMemoryMachine::Options opt;
+  opt.kernel = cfg;
+  opt.local_mem_ratio = 0.5;
+  opt.time_limit = 45 * kMillisecond;
+  opt.stats_warmup = 15 * kMillisecond;
+  FarMemoryMachine m(opt, wl);
+  return m.Run();
+}
+
+}  // namespace
+}  // namespace magesim
+
+int main() {
+  using namespace magesim;
+  PrintBanner("Figure 16: fault-handler breakdown, DiLOS vs MAGE variants (us/fault)");
+
+  const char* cats[] = {"rdma", "tlb", "accounting", "alloc", "entry", "other"};
+  Table t({"system", "threads", "rdma", "tlb", "accounting", "alloc", "entry", "other",
+           "total(mean)"});
+  for (const auto& cfg : {DilosConfig(), MageLnxConfig(), MageLibConfig()}) {
+    for (int threads : {24, 48}) {
+      RunResult r = RunCase(cfg, threads);
+      std::vector<std::string> row{cfg.name, std::to_string(threads)};
+      for (const char* c : cats) {
+        row.push_back(Table::Num(r.fault_breakdown.MeanPer(c, r.faults) / 1000.0));
+      }
+      row.push_back(Table::Num(r.fault_latency.mean() / 1000.0));
+      t.AddRow(row);
+    }
+  }
+  t.Print();
+  std::printf("(paper at 48T: magelib accounting 2.1->0.2 us via partitioning,\n"
+              " circulation 2.4->0.5 us via the staging allocator, no TLB in FP)\n");
+  return 0;
+}

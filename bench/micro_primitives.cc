@@ -1,0 +1,74 @@
+// google-benchmark microbenchmarks of the simulation substrate itself: event
+// queue throughput, allocator logic, Zipf sampling, histogram recording.
+// These bound how fast the figure harnesses can run.
+#include <benchmark/benchmark.h>
+
+#include "src/mem/buddy_allocator.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+
+namespace magesim {
+namespace {
+
+Task<> DelayLoop(int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await Delay{10};
+  }
+}
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    for (int t = 0; t < 8; ++t) e.Spawn(DelayLoop(1000));
+    benchmark::DoNotOptimize(e.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 8000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  FramePool pool(1 << 14);
+  BuddyAllocator buddy(pool);
+  std::vector<PageFrame*> held;
+  held.reserve(4096);
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) held.push_back(buddy.AllocPage());
+    for (PageFrame* f : held) buddy.FreePage(f);
+    held.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  ZipfGenerator zipf(1 << 20, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(2);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.NextU64(1 << 20)));
+  }
+  benchmark::DoNotOptimize(h.Percentile(99));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace
+}  // namespace magesim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// magesim_cli: run any workload on any system variant from the command line.
+//
+//   magesim_cli --workload=pagerank --system=magelib --far=50 [--threads=48]
+//   magesim_cli --workload=trace --trace-file=prod.trc --system=hermit --far=30
+//   magesim_cli --workload=zipf-trace --system=dilos --far=40 --save-trace=out.trc
+//
+// Workloads: pagerank, xsbench, seqscan, gups, metis, memcached,
+//            zipf-trace, mixed-trace, trace (requires --trace-file).
+// Systems:   ideal, hermit, dilos, magelnx, magelib, fastswap.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/farmem.h"
+#include "src/workloads/gups.h"
+#include "src/workloads/memcached.h"
+#include "src/workloads/metis.h"
+#include "src/workloads/pagerank.h"
+#include "src/workloads/seqscan.h"
+#include "src/workloads/trace.h"
+#include "src/workloads/xsbench.h"
+
+namespace {
+
+std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    size_t eq = a.find('=');
+    if (eq == std::string::npos) {
+      args[a.substr(2)] = "1";
+    } else {
+      args[a.substr(2, eq - 2)] = a.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+std::string Get(const std::map<std::string, std::string>& args, const std::string& key,
+                const std::string& def) {
+  auto it = args.find(key);
+  return it == args.end() ? def : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: magesim_cli --workload=<name> --system=<name> [--far=<pct>]\n"
+               "                   [--threads=N] [--trace-file=path] [--save-trace=path]\n"
+               "workloads: pagerank xsbench seqscan gups metis memcached\n"
+               "           zipf-trace mixed-trace trace\n"
+               "systems:   ideal hermit dilos magelnx magelib fastswap\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace magesim;
+  auto args = ParseArgs(argc, argv);
+  std::string wname = Get(args, "workload", "");
+  std::string sname = Get(args, "system", "magelib");
+  int far = std::atoi(Get(args, "far", "30").c_str());
+  int threads = std::atoi(Get(args, "threads", "24").c_str());
+  if (wname.empty()) return Usage();
+
+  std::unique_ptr<Workload> wl;
+  if (wname == "pagerank") {
+    wl = std::make_unique<PageRankWorkload>(
+        PageRankWorkload::Options{.scale = 16, .iterations = 3, .threads = threads});
+  } else if (wname == "xsbench") {
+    wl = std::make_unique<XsBenchWorkload>(XsBenchWorkload::Options{
+        .gridpoints = 1 << 18, .lookups_per_thread = 3000, .threads = threads});
+  } else if (wname == "seqscan") {
+    wl = std::make_unique<SeqScanWorkload>(
+        SeqScanWorkload::Options{.region_pages = 32 * 1024, .threads = threads, .passes = 2});
+  } else if (wname == "gups") {
+    wl = std::make_unique<GupsWorkload>(GupsWorkload::Options{
+        .total_pages = 48 * 1024,
+        .threads = threads,
+        .phase_change_at = 300 * kMillisecond,
+        .run_for = 600 * kMillisecond});
+  } else if (wname == "metis") {
+    wl = std::make_unique<MetisWorkload>(MetisWorkload::Options{
+        .input_pages = 16 * 1024, .intermediate_pages = 12 * 1024, .threads = threads});
+  } else if (wname == "memcached") {
+    wl = std::make_unique<MemcachedWorkload>(MemcachedWorkload::Options{
+        .num_keys = 1 << 18,
+        .load_ops_per_sec = 200000,
+        .server_threads = threads,
+        .duration = 1 * kSecond});
+  } else if (wname == "zipf-trace" || wname == "mixed-trace" || wname == "trace") {
+    Trace trace;
+    if (wname == "trace") {
+      std::string path = Get(args, "trace-file", "");
+      if (path.empty() || !Trace::LoadFrom(path, &trace)) {
+        std::fprintf(stderr, "cannot load trace file '%s'\n", path.c_str());
+        return 1;
+      }
+    } else {
+      TraceGenOptions gopt{.wss_pages = 32 * 1024,
+                           .threads = threads,
+                           .accesses_per_thread = 20000};
+      trace = wname == "zipf-trace" ? GenerateZipfTrace(gopt, 0.95)
+                                    : GenerateMixedTrace(gopt, 0.95, 0.2);
+    }
+    std::string save = Get(args, "save-trace", "");
+    if (!save.empty() && !trace.SaveTo(save)) {
+      std::fprintf(stderr, "cannot save trace to '%s'\n", save.c_str());
+      return 1;
+    }
+    wl = std::make_unique<TraceReplayWorkload>(std::move(trace));
+  } else {
+    return Usage();
+  }
+
+  FarMemoryMachine::Options opt;
+  try {
+    opt.kernel = ConfigByName(sname);
+  } catch (const std::invalid_argument&) {
+    return Usage();
+  }
+  opt.local_mem_ratio = 1.0 - static_cast<double>(far) / 100.0;
+  opt.time_limit = 5 * kSecond;  // safety stop for open-ended workloads
+
+  FarMemoryMachine machine(opt, *wl);
+  RunResult r = machine.Run();
+
+  std::printf("workload=%s system=%s far=%d%% threads=%d\n", wname.c_str(), sname.c_str(),
+              far, wl->num_threads());
+  std::printf("sim time        %.4f s\n", r.sim_seconds);
+  std::printf("throughput      %.3f M %s/s\n", r.ops_per_sec / 1e6, wl->ops_unit().c_str());
+  std::printf("major faults    %llu (%.2f M/s)\n",
+              static_cast<unsigned long long>(r.faults), r.fault_mops);
+  std::printf("fault latency   %s\n", r.fault_latency.Summary().c_str());
+  std::printf("sync evictions  %llu\n", static_cast<unsigned long long>(r.sync_evictions));
+  std::printf("evicted pages   %llu\n", static_cast<unsigned long long>(r.evicted_pages));
+  std::printf("network         read %.1f Gbps / write %.1f Gbps\n", r.nic_read_gbps,
+              r.nic_write_gbps);
+  std::printf("tlb shootdowns  %s (ipis %llu)\n", r.tlb_shootdown_latency.Summary().c_str(),
+              static_cast<unsigned long long>(r.ipis_sent));
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "src/accounting/global_lru.h"
+
+#include <algorithm>
+
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+namespace {
+constexpr int16_t kInactive = 0;
+constexpr int16_t kActive = 1;
+}  // namespace
+
+GlobalLru::GlobalLru(PageTable& pt, Costs costs) : pt_(pt), costs_(costs) {}
+
+Task<> GlobalLru::Insert(CoreId core, PageFrame* f) {
+  SimTime start = Engine::current().now();
+  auto g = co_await lock_.Scoped();
+  co_await Delay{costs_.insert_cs_ns};
+  inactive_.PushBack(f);
+  f->lru_list = kInactive;
+  ++stats_.inserts;
+  insert_time_total_ += Engine::current().now() - start;
+}
+
+void GlobalLru::InsertSetup(CoreId core, PageFrame* f) {
+  inactive_.PushBack(f);
+  f->lru_list = kInactive;
+  ++stats_.inserts;
+}
+
+void GlobalLru::Balance() {
+  // Demote from the active list until it is no larger than the inactive list
+  // (shrink_active_list analogue). Demotion clears the reference so demoted
+  // pages must be re-referenced to survive the next scan.
+  while (active_.size() > inactive_.size()) {
+    PageFrame* f = active_.PopFront();
+    if (f->vpn != kInvalidVpn) {
+      pt_.At(f->vpn).accessed = false;
+    }
+    inactive_.PushBack(f);
+    f->lru_list = kInactive;
+  }
+}
+
+Task<size_t> GlobalLru::IsolateBatch(int evictor_id, CoreId core, size_t want,
+                                     std::vector<PageFrame*>* out) {
+  auto g = co_await lock_.Scoped();
+  size_t got = 0;
+  // Scan bound: examine at most 4x the request (and never pages this scan
+  // itself reactivated), so a hot inactive list cannot wedge the evictor.
+  size_t scan_budget = std::min(want * 4, inactive_.size());
+  while (got < want && scan_budget > 0 && !inactive_.empty()) {
+    co_await Delay{costs_.scan_per_page_ns};
+    --scan_budget;
+    ++stats_.scanned;
+    PageFrame* f = inactive_.PopFront();
+    bool accessed = f->vpn != kInvalidVpn && pt_.At(f->vpn).accessed;
+    if (accessed) {
+      // Second chance: promote to the active list, clear the reference.
+      pt_.At(f->vpn).accessed = false;
+      active_.PushBack(f);
+      f->lru_list = kActive;
+      ++stats_.reactivated;
+      continue;
+    }
+    f->lru_list = -1;
+    out->push_back(f);
+    ++got;
+    ++stats_.isolated;
+  }
+  if (got < want) {
+    Balance();
+    scan_budget = std::min(want * 4, inactive_.size());
+    while (got < want && scan_budget > 0 && !inactive_.empty()) {
+      co_await Delay{costs_.scan_per_page_ns};
+      --scan_budget;
+      ++stats_.scanned;
+      PageFrame* f = inactive_.PopFront();
+      bool accessed = f->vpn != kInvalidVpn && pt_.At(f->vpn).accessed;
+      if (accessed) {
+        pt_.At(f->vpn).accessed = false;
+        active_.PushBack(f);
+        f->lru_list = kActive;
+        ++stats_.reactivated;
+        continue;
+      }
+      f->lru_list = -1;
+      out->push_back(f);
+      ++got;
+      ++stats_.isolated;
+    }
+  }
+  co_return got;
+}
+
+void GlobalLru::Unlink(PageFrame* f) {
+  if (!f->linked()) return;
+  if (f->lru_list == kInactive) {
+    inactive_.Remove(f);
+  } else {
+    active_.Remove(f);
+  }
+  f->lru_list = -1;
+}
+
+}  // namespace magesim

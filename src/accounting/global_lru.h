@@ -1,0 +1,45 @@
+// System-wide two-list LRU behind a single lru_lock (Linux / OSv lineage).
+#ifndef MAGESIM_ACCOUNTING_GLOBAL_LRU_H_
+#define MAGESIM_ACCOUNTING_GLOBAL_LRU_H_
+
+#include "src/accounting/accounting.h"
+#include "src/accounting/intrusive_list.h"
+
+namespace magesim {
+
+struct GlobalLruCosts {
+  SimTime insert_cs_ns = 60;      // list insert under lru_lock
+  SimTime scan_per_page_ns = 90;  // isolate/check/rotate one page
+};
+
+class GlobalLru : public PageAccounting {
+ public:
+  using Costs = GlobalLruCosts;
+
+  explicit GlobalLru(PageTable& pt, Costs costs = Costs());
+
+  Task<> Insert(CoreId core, PageFrame* f) override;
+  void InsertSetup(CoreId core, PageFrame* f) override;
+  Task<size_t> IsolateBatch(int evictor_id, CoreId core, size_t want,
+                            std::vector<PageFrame*>* out) override;
+  void Unlink(PageFrame* f) override;
+
+  uint64_t tracked_pages() const override { return inactive_.size() + active_.size(); }
+  LockStats AggregateLockStats() const override { return lock_.stats(); }
+
+  size_t inactive_size() const { return inactive_.size(); }
+  size_t active_size() const { return active_.size(); }
+
+ private:
+  void Balance();
+
+  PageTable& pt_;
+  Costs costs_;
+  FrameList inactive_;  // lru_list id 0
+  FrameList active_;    // lru_list id 1
+  SimMutex lock_{"lru"};
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_ACCOUNTING_GLOBAL_LRU_H_

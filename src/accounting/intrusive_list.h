@@ -1,0 +1,81 @@
+// Intrusive doubly-linked list over PageFrame (struct-page style linkage):
+// O(1) push/pop/remove with zero allocation, as required for hot accounting
+// paths.
+#ifndef MAGESIM_ACCOUNTING_INTRUSIVE_LIST_H_
+#define MAGESIM_ACCOUNTING_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+
+#include "src/mem/frame_pool.h"
+
+namespace magesim {
+
+class FrameList {
+ public:
+  void PushBack(PageFrame* f) {
+    assert(f->prev == nullptr && f->next == nullptr && f != head_);
+    f->prev = tail_;
+    f->next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next = f;
+    } else {
+      head_ = f;
+    }
+    tail_ = f;
+    ++size_;
+  }
+
+  void PushFront(PageFrame* f) {
+    assert(f->prev == nullptr && f->next == nullptr && f != tail_);
+    f->next = head_;
+    f->prev = nullptr;
+    if (head_ != nullptr) {
+      head_->prev = f;
+    } else {
+      tail_ = f;
+    }
+    head_ = f;
+    ++size_;
+  }
+
+  PageFrame* PopFront() {
+    if (head_ == nullptr) return nullptr;
+    PageFrame* f = head_;
+    Remove(f);
+    return f;
+  }
+
+  void Remove(PageFrame* f) {
+    assert(size_ > 0);
+    if (f->prev != nullptr) {
+      f->prev->next = f->next;
+    } else {
+      assert(head_ == f);
+      head_ = f->next;
+    }
+    if (f->next != nullptr) {
+      f->next->prev = f->prev;
+    } else {
+      assert(tail_ == f);
+      tail_ = f->prev;
+    }
+    f->prev = nullptr;
+    f->next = nullptr;
+    --size_;
+  }
+
+  PageFrame* front() const { return head_; }
+  PageFrame* back() const { return tail_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  PageFrame* head_ = nullptr;
+  PageFrame* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_ACCOUNTING_INTRUSIVE_LIST_H_

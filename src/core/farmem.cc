@@ -1,0 +1,149 @@
+#include "src/core/farmem.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace magesim {
+
+FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
+    : options_(std::move(options)), workload_(workload) {
+  if (!options_.hw_overridden) {
+    options_.hw = options_.kernel.virtualized ? VirtualizedParams() : BareMetalParams();
+  }
+  engine_ = std::make_unique<Engine>();
+  topo_ = std::make_unique<Topology>(options_.hw);
+  tlb_ = std::make_unique<TlbShootdownManager>(*topo_);
+  nic_ = std::make_unique<RdmaNic>(options_.hw);
+
+  uint64_t wss = workload_.wss_pages();
+  double ratio = std::clamp(options_.local_mem_ratio, 0.01, 1.0);
+  uint64_t local_raw = static_cast<uint64_t>(static_cast<double>(wss) * ratio);
+  uint64_t local_pages;
+  if (ratio >= 1.0) {
+    // 100% local: everything resident plus watermark headroom, so no paging
+    // activity at all (the paper's all-local baselines).
+    local_pages = wss + std::max<uint64_t>(
+        256, static_cast<uint64_t>(static_cast<double>(wss) *
+                                   options_.kernel.high_watermark * 1.5));
+  } else {
+    // "X% far memory": the local VM holds exactly (1-X)% of the WSS; the
+    // kernel's free-page headroom comes out of that budget, as on a real
+    // memory-limited machine.
+    local_pages = std::max<uint64_t>(local_raw, 512);
+  }
+
+  memnode_ = std::make_unique<MemoryNode>(static_cast<uint64_t>(wss) * kPageSize * 2);
+  memnode_->ReserveDirect(wss * kPageSize);
+  kernel_ = std::make_unique<Kernel>(options_.kernel, *topo_, *tlb_, *nic_, local_pages, wss);
+
+  int threads = workload_.num_threads();
+  assert(threads <= topo_->num_cores());
+  std::vector<CoreId> app_cores;
+  for (int i = 0; i < threads; ++i) {
+    app_cores.push_back(i);
+    threads_.push_back(std::make_unique<AppThread>(*kernel_, i, options_.seed * 1000003ULL +
+                                                                     static_cast<uint64_t>(i)));
+  }
+  // Flush IPIs target every core that runs application threads.
+  tlb_->SetTargetCores(app_cores);
+
+  uint64_t resident = local_pages;
+  if (ratio < 1.0) {
+    // Leave the high-watermark headroom free so evictors start idle.
+    uint64_t headroom = static_cast<uint64_t>(static_cast<double>(local_pages) *
+                                              options_.kernel.high_watermark) + 16;
+    resident = local_pages > headroom ? local_pages - headroom : local_pages / 2;
+  } else {
+    resident = wss;
+  }
+  kernel_->Prepopulate(resident);
+}
+
+FarMemoryMachine::~FarMemoryMachine() = default;
+
+Task<> FarMemoryMachine::RunThread(int tid) {
+  co_await workload_.ThreadBody(*threads_[static_cast<size_t>(tid)], tid);
+  wg_.Done();
+}
+
+Task<> FarMemoryMachine::Controller() {
+  co_await wg_.Wait();
+  end_time_ = engine_->now();
+  engine_->RequestShutdown();
+}
+
+namespace {
+
+Task<> TimeLimitTask(Engine& eng, SimTime limit) {
+  co_await Delay{limit};
+  eng.RequestShutdown();
+}
+
+Task<> WarmupResetTask(Kernel& k, RdmaNic& nic, TlbShootdownManager& tlb, SimTime at) {
+  co_await Delay{at};
+  k.ResetMeasurement();
+  nic.ResetStats();
+  tlb.ResetStats();
+}
+
+}  // namespace
+
+RunResult FarMemoryMachine::Run() {
+  assert(!ran_);
+  ran_ = true;
+
+  int threads = workload_.num_threads();
+  wg_.Add(threads);
+  for (int tid = 0; tid < threads; ++tid) {
+    engine_->Spawn(RunThread(tid));
+  }
+  engine_->Spawn(Controller());
+  if (options_.time_limit > 0) {
+    engine_->Spawn(TimeLimitTask(*engine_, options_.time_limit));
+  }
+  if (options_.stats_warmup > 0) {
+    engine_->Spawn(WarmupResetTask(*kernel_, *nic_, *tlb_, options_.stats_warmup));
+  }
+  kernel_->Start(threads);
+
+  engine_->Run();
+  if (end_time_ == 0) {
+    end_time_ = engine_->now();  // threads parked (e.g. queue servers): use drain time
+  }
+
+  RunResult r;
+  r.sim_seconds = NsToSec(end_time_);
+  SimTime measured_ns = end_time_ - options_.stats_warmup;
+  if (measured_ns <= 0) measured_ns = end_time_;
+  r.measured_seconds = NsToSec(measured_ns);
+  for (const auto& t : threads_) r.total_ops += t->ops;
+  if (r.sim_seconds > 0) {
+    r.ops_per_sec = static_cast<double>(r.total_ops) / r.sim_seconds;
+    r.jobs_per_hour = 3600.0 / r.sim_seconds;
+  }
+  const KernelStats& ks = kernel_->stats();
+  r.faults = ks.faults;
+  r.sync_evictions = ks.sync_evictions;
+  r.evicted_pages = ks.evicted_pages;
+  r.free_page_waits = ks.free_page_waits;
+  r.prefetched_pages = ks.prefetched_pages;
+  r.fault_mops =
+      r.measured_seconds > 0 ? static_cast<double>(ks.faults) / r.measured_seconds / 1e6 : 0;
+  r.fault_latency = ks.fault_latency;
+  r.fault_breakdown = ks.fault_breakdown;
+  r.sync_evict_latency = ks.sync_evict_latency;
+  r.nic_read_gbps =
+      static_cast<double>(nic_->bytes_read()) * 8.0 / static_cast<double>(measured_ns);
+  r.nic_write_gbps =
+      static_cast<double>(nic_->bytes_written()) * 8.0 / static_cast<double>(measured_ns);
+  r.tlb_shootdown_latency = tlb_->shootdown_latency();
+  r.ipi_delivery_latency = tlb_->ipi_delivery_latency();
+  r.ipis_sent = tlb_->ipis_sent();
+  r.accounting_lock = kernel_->accounting_lock_stats();
+  for (int c = 0; c < topo_->num_cores(); ++c) {
+    r.faults_per_core.push_back(kernel_->FaultsOnCore(c));
+  }
+  return r;
+}
+
+}  // namespace magesim

@@ -1,0 +1,112 @@
+// Public entry point: assemble a simulated machine (topology, NIC, TLB
+// shootdown fabric, paging kernel) around a workload, run it, and collect
+// results. This is the API the examples and every benchmark harness use.
+//
+//   PageRankWorkload wl({.threads = 48});
+//   FarMemoryMachine::Options opt;
+//   opt.kernel = MageLibConfig();
+//   opt.local_mem_ratio = 0.5;        // offload 50% of the WSS
+//   FarMemoryMachine m(opt, wl);
+//   RunResult r = m.Run();
+//   std::cout << r.ops_per_sec << "\n";
+#ifndef MAGESIM_CORE_FARMEM_H_
+#define MAGESIM_CORE_FARMEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/hw/memnode.h"
+#include "src/paging/kernel.h"
+#include "src/paging/kernels.h"
+#include "src/workloads/workload.h"
+
+namespace magesim {
+
+struct RunResult {
+  // Workload-completion time (when the last application thread finished, or
+  // the configured time limit).
+  double sim_seconds = 0;
+  // Length of the measured window (sim_seconds minus warmup).
+  double measured_seconds = 0;
+  uint64_t total_ops = 0;
+  double ops_per_sec = 0;
+  double jobs_per_hour = 0;  // 3600 / sim_seconds (batch jobs, §3.1)
+
+  // Paging behavior.
+  uint64_t faults = 0;
+  uint64_t sync_evictions = 0;
+  uint64_t evicted_pages = 0;
+  uint64_t free_page_waits = 0;
+  uint64_t prefetched_pages = 0;
+  double fault_mops = 0;  // major faults per second, in millions
+  Histogram fault_latency;
+  Breakdown fault_breakdown;
+  Histogram sync_evict_latency;
+
+  // Fabric.
+  double nic_read_gbps = 0;
+  double nic_write_gbps = 0;
+  Histogram tlb_shootdown_latency;
+  Histogram ipi_delivery_latency;
+  uint64_t ipis_sent = 0;
+
+  // Contention diagnostics.
+  LockStats accounting_lock;
+
+  // Per-core major fault counts (input to the analytic ideal model).
+  std::vector<uint64_t> faults_per_core;
+};
+
+class FarMemoryMachine {
+ public:
+  struct Options {
+    KernelConfig kernel;
+    // Fraction of the working set kept in local DRAM; (1 - ratio) is the
+    // paper's "X% far memory".
+    double local_mem_ratio = 1.0;
+    // Hardware preset; kernel.virtualized selects VM-exit costs by default.
+    MachineParams hw = MachineParams{};
+    bool hw_overridden = false;
+    uint64_t seed = 1;
+    // Hard stop (simulated time); 0 = run until the workload completes.
+    SimTime time_limit = 0;
+    // Discard everything before this instant from the measured statistics
+    // (fault counts, latency histograms, NIC/TLB stats): steady-state
+    // measurement for open-ended workloads.
+    SimTime stats_warmup = 0;
+  };
+
+  FarMemoryMachine(Options options, Workload& workload);
+  ~FarMemoryMachine();
+
+  // Runs the full simulation (blocking). May be called once.
+  RunResult Run();
+
+  // Accessors valid during/after Run (used by tests and custom harnesses).
+  Kernel& kernel() { return *kernel_; }
+  Engine& engine() { return *engine_; }
+  RdmaNic& nic() { return *nic_; }
+  Workload& workload() { return workload_; }
+  const std::vector<std::unique_ptr<AppThread>>& threads() const { return threads_; }
+
+ private:
+  Task<> RunThread(int tid);
+  Task<> Controller();
+
+  Options options_;
+  Workload& workload_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<TlbShootdownManager> tlb_;
+  std::unique_ptr<RdmaNic> nic_;
+  std::unique_ptr<MemoryNode> memnode_;
+  std::unique_ptr<Kernel> kernel_;
+  std::vector<std::unique_ptr<AppThread>> threads_;
+  WaitGroup wg_;
+  SimTime end_time_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_CORE_FARMEM_H_

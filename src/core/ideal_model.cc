@@ -1,0 +1,27 @@
+#include "src/core/ideal_model.h"
+
+#include <algorithm>
+
+namespace magesim {
+
+double IdealThroughputFraction(const std::vector<uint64_t>& faults_per_core, double t0_sec,
+                               SimTime l_ns) {
+  uint64_t max_faults = 0;
+  for (uint64_t f : faults_per_core) max_faults = std::max(max_faults, f);
+  double delay_sec = static_cast<double>(max_faults) * NsToSec(l_ns);
+  if (t0_sec <= 0) return 1.0;
+  return t0_sec / (t0_sec + delay_sec);
+}
+
+double IdealThroughputDropPercent(const std::vector<uint64_t>& faults_per_core, double t0_sec,
+                                  SimTime l_ns) {
+  return (1.0 - IdealThroughputFraction(faults_per_core, t0_sec, l_ns)) * 100.0;
+}
+
+double IdealJobsPerHour(const std::vector<uint64_t>& faults_per_core, double t0_sec,
+                        SimTime l_ns) {
+  if (t0_sec <= 0) return 0;
+  return 3600.0 / t0_sec * IdealThroughputFraction(faults_per_core, t0_sec, l_ns);
+}
+
+}  // namespace magesim

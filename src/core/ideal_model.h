@@ -1,0 +1,33 @@
+// The paper's analytic "ideal far-memory" model (§3.1): an upper bound with
+// zero software overhead where each remote page access costs exactly L.
+//
+//   Thp_ideal(x) = min_c 3600 / (T0 + L * F_{c,x})   [jobs/hour]
+//   dThp(x)      = max_c (L * F_{c,x}) / (T0 + L * F_{c,x})
+#ifndef MAGESIM_CORE_IDEAL_MODEL_H_
+#define MAGESIM_CORE_IDEAL_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace magesim {
+
+// Fraction of local throughput retained (1 = no degradation). `t0_sec` is the
+// all-local runtime; `faults_per_core` are the per-core major-fault counts at
+// the offloading ratio of interest; `l_ns` is the unloaded remote access
+// latency (the paper's L = 3.9 us).
+double IdealThroughputFraction(const std::vector<uint64_t>& faults_per_core, double t0_sec,
+                               SimTime l_ns);
+
+// Percentage throughput drop, the paper's dThp(x).
+double IdealThroughputDropPercent(const std::vector<uint64_t>& faults_per_core, double t0_sec,
+                                  SimTime l_ns);
+
+// Ideal jobs/hour given the same inputs.
+double IdealJobsPerHour(const std::vector<uint64_t>& faults_per_core, double t0_sec,
+                        SimTime l_ns);
+
+}  // namespace magesim
+
+#endif  // MAGESIM_CORE_IDEAL_MODEL_H_

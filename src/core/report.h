@@ -1,0 +1,36 @@
+// Output helpers for benchmark harnesses: fixed-width console tables mirroring
+// the paper's figures/tables, plus CSV for replotting.
+#ifndef MAGESIM_CORE_REPORT_H_
+#define MAGESIM_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace magesim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double v, int precision = 1);
+
+  // Renders an aligned console table.
+  std::string ToString() const;
+  // Renders CSV (headers + rows).
+  std::string ToCsv() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a figure/table banner: "== Figure 9: ... ==".
+void PrintBanner(const std::string& title);
+
+}  // namespace magesim
+
+#endif  // MAGESIM_CORE_REPORT_H_

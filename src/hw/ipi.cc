@@ -1,0 +1,94 @@
+#include "src/hw/ipi.h"
+
+#include <algorithm>
+
+namespace magesim {
+
+TlbShootdownManager::TlbShootdownManager(Topology& topo) : topo_(topo) {
+  irq_serializers_.reserve(static_cast<size_t>(topo.num_cores()));
+  for (int i = 0; i < topo.num_cores(); ++i) {
+    irq_serializers_.push_back(std::make_unique<SimMutex>("irq"));
+  }
+}
+
+SimTime TlbShootdownManager::HandlerCost(int num_pages) const {
+  const MachineParams& p = topo_.params();
+  SimTime flush = (num_pages >= p.full_flush_threshold)
+                      ? p.full_flush_ns
+                      : static_cast<SimTime>(num_pages) * p.invlpg_ns;
+  return p.ipi_handler_base_ns + flush;
+}
+
+Task<> TlbShootdownManager::DeliverIpi(CoreId target, int num_pages, SimTime send_time,
+                                       std::shared_ptr<ShootdownOp> op, SimTime delivery_ns) {
+  const MachineParams& p = topo_.params();
+  co_await Delay{delivery_ns};
+  // The target core handles flush IPIs serially; queueing under IPI storms
+  // happens here.
+  {
+    auto g = co_await irq_serializers_[static_cast<size_t>(target)]->Scoped();
+    SimTime cost = HandlerCost(num_pages);
+    if (p.virtualized) {
+      cost += p.vmexit_ns;  // interrupt injection exits to the hypervisor
+    }
+    co_await Delay{cost};
+    Core& c = topo_.core(target);
+    c.CountInterrupt();
+    c.AddStolenTime(cost);
+  }
+  ipi_latency_.Record(Engine::current().now() - send_time);
+  op->Ack();
+}
+
+Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, int num_pages) {
+  const MachineParams& p = topo_.params();
+  Engine& eng = Engine::current();
+  ++shootdowns_;
+
+  // Local flush on the initiating core.
+  SimTime local = (num_pages >= p.full_flush_threshold)
+                      ? p.full_flush_ns
+                      : static_cast<SimTime>(num_pages) * p.invlpg_ns;
+  co_await Delay{local};
+
+  int remote_targets = 0;
+  for (CoreId t : targets_) {
+    if (t != initiator) ++remote_targets;
+  }
+  auto op = std::make_shared<ShootdownOp>(remote_targets, eng.now());
+  if (remote_targets == 0) {
+    co_return op;
+  }
+
+  for (CoreId t : targets_) {
+    if (t == initiator) continue;
+    // APIC ICR write, serialized at the sender; virtualized guests trap
+    // each write to the hypervisor.
+    SimTime send_cost = p.ipi_send_ns + (p.virtualized ? p.vmexit_ns : 0);
+    co_await Delay{send_cost};
+    ++ipis_sent_;
+    SimTime delivery = topo_.SameSocket(initiator, t) ? p.ipi_delivery_same_socket_ns
+                                                      : p.ipi_delivery_cross_socket_ns;
+    eng.Spawn(DeliverIpi(t, num_pages, eng.now(), op, delivery));
+  }
+  co_return op;
+}
+
+Task<> TlbShootdownManager::Finish(std::shared_ptr<ShootdownOp> op) {
+  co_await op->Wait();
+  shootdown_latency_.Record(Engine::current().now() - op->start());
+}
+
+Task<> TlbShootdownManager::Shootdown(CoreId initiator, int num_pages) {
+  auto op = co_await Begin(initiator, num_pages);
+  co_await Finish(std::move(op));
+}
+
+void TlbShootdownManager::ResetStats() {
+  shootdown_latency_.Reset();
+  ipi_latency_.Reset();
+  ipis_sent_ = 0;
+  shootdowns_ = 0;
+}
+
+}  // namespace magesim

@@ -1,0 +1,87 @@
+// Inter-processor interrupts and TLB shootdowns.
+//
+// Model (matches §3.3.1): an initiator core invalidates its local TLB, then
+// sends one IPI per target core through its APIC (serialized at the sender).
+// Each IPI travels the interconnect (NUMA-dependent latency) and is handled
+// *serially* by the target's interrupt controller — concurrent shootdowns
+// from many initiators therefore queue at the targets, which is exactly the
+// "IPI storm" that inflates per-IPI latency 33x in the paper. Virtualized
+// guests additionally pay a VM-exit on both the send and receive side.
+#ifndef MAGESIM_HW_IPI_H_
+#define MAGESIM_HW_IPI_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/hw/topology.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace magesim {
+
+// One in-flight shootdown: completes when every targeted core has flushed
+// and acknowledged.
+class ShootdownOp {
+ public:
+  ShootdownOp(int num_targets, SimTime start)
+      : latch_(num_targets), start_(start) {}
+
+  SimEvent::Awaiter Wait() { return latch_.Wait(); }
+  void Ack() { latch_.CountDown(); }
+  SimTime start() const { return start_; }
+  bool done() const { return latch_.count() == 0; }
+
+ private:
+  CountdownLatch latch_;
+  SimTime start_;
+};
+
+class TlbShootdownManager {
+ public:
+  TlbShootdownManager(Topology& topo);
+
+  // Cores that must receive flush IPIs (the application's mm cpumask).
+  // The initiator, if present in this set, flushes locally instead.
+  void SetTargetCores(std::vector<CoreId> cores) { targets_ = std::move(cores); }
+  const std::vector<CoreId>& target_cores() const { return targets_; }
+
+  // Asynchronous begin: returns once all IPIs have been *sent* (the sender-
+  // side serialization cost has elapsed); the returned op completes when all
+  // targets have acknowledged. `num_pages` selects INVLPG-loop vs full flush.
+  Task<std::shared_ptr<ShootdownOp>> Begin(CoreId initiator, int num_pages);
+
+  // Synchronous shootdown: begin + wait; records total latency.
+  Task<> Shootdown(CoreId initiator, int num_pages);
+
+  // Finishes an op begun with Begin() and records its total latency.
+  Task<> Finish(std::shared_ptr<ShootdownOp> op);
+
+  const Histogram& shootdown_latency() const { return shootdown_latency_; }
+  const Histogram& ipi_delivery_latency() const { return ipi_latency_; }
+  uint64_t ipis_sent() const { return ipis_sent_; }
+  uint64_t shootdowns() const { return shootdowns_; }
+  void ResetStats();
+
+  // Handler cost for flushing `num_pages` entries at one core.
+  SimTime HandlerCost(int num_pages) const;
+
+ private:
+  Task<> DeliverIpi(CoreId target, int num_pages, SimTime send_time,
+                    std::shared_ptr<ShootdownOp> op, SimTime delivery_ns);
+
+  Topology& topo_;
+  std::vector<CoreId> targets_;
+  // Per-core interrupt serialization: a core handles one flush IPI at a time.
+  std::vector<std::unique_ptr<SimMutex>> irq_serializers_;
+
+  Histogram shootdown_latency_;
+  Histogram ipi_latency_;
+  uint64_t ipis_sent_ = 0;
+  uint64_t shootdowns_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_HW_IPI_H_

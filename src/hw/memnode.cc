@@ -1,0 +1,14 @@
+#include "src/hw/memnode.h"
+
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+Task<> MemoryNode::Setup() {
+  // Connection establishment + ibv_reg_mr of the huge-page region. One-time
+  // control-path cost.
+  co_await Delay{2 * kMillisecond};
+  registered_ = true;
+}
+
+}  // namespace magesim

@@ -1,0 +1,47 @@
+// The far-memory node: a passive server exposing a registered memory region
+// over one-sided RDMA (§5.2 "Memory node"). A small daemon handles setup
+// requests; steady-state data movement never involves its CPU. The region is
+// backed by huge pages, which shortens the remote IOMMU/page-table walk and is
+// folded into the NIC base latency.
+#ifndef MAGESIM_HW_MEMNODE_H_
+#define MAGESIM_HW_MEMNODE_H_
+
+#include <cstdint>
+
+#include "src/hw/machine_params.h"
+#include "src/sim/task.h"
+
+namespace magesim {
+
+class MemoryNode {
+ public:
+  explicit MemoryNode(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Control-path setup: daemon accepts a connection, registers the region
+  // with its RDMA NIC, returns the rkey/base. Costs milliseconds but happens
+  // once, off the data path.
+  Task<> Setup();
+
+  bool registered() const { return registered_; }
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t capacity_pages() const { return capacity_ / kPageSize; }
+
+  // Linear offset-based reservation used by VMA-level direct mapping: the
+  // region [0, wss) mirrors the application's address range one-to-one, so no
+  // per-page remote allocation is ever needed (§4.2.3).
+  bool ReserveDirect(uint64_t bytes) {
+    if (bytes > capacity_) return false;
+    direct_reserved_ = bytes;
+    return true;
+  }
+  uint64_t direct_reserved() const { return direct_reserved_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t direct_reserved_ = 0;
+  bool registered_ = false;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_HW_MEMNODE_H_

@@ -1,0 +1,106 @@
+#include "src/hw/rdma.h"
+
+#include <algorithm>
+
+namespace magesim {
+
+RdmaNic::RdmaNic(const MachineParams& params) : params_(params) {}
+
+Task<> RdmaNic::SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when) {
+  co_await Delay{when - Engine::current().now()};
+  c->Signal();
+}
+
+const RdmaNic::Brownout* RdmaNic::ActiveBrownout(SimTime now) const {
+  for (const Brownout& b : brownouts_) {
+    if (now >= b.from && now < b.until) return &b;
+  }
+  return nullptr;
+}
+
+void RdmaNic::InjectBrownout(SimTime from, SimTime until, double bandwidth_factor,
+                             SimTime extra_latency_ns) {
+  brownouts_.push_back(Brownout{from, until, bandwidth_factor, extra_latency_ns});
+}
+
+std::shared_ptr<RdmaCompletion> RdmaNic::Post(Channel& ch, uint64_t bytes, Histogram& lat,
+                                              Histogram* queueing) {
+  Engine& eng = Engine::current();
+  SimTime now = eng.now();
+  double rate = params_.nic_gbps;
+  SimTime extra = 0;
+  if (const Brownout* b = ActiveBrownout(now)) {
+    rate *= b->bandwidth_factor;
+    extra = b->extra_latency_ns;
+  }
+  SimTime wire = static_cast<SimTime>(
+      std::max<double>(1.0, static_cast<double>(bytes) * 8.0 / rate));
+  SimTime start = std::max(now, ch.next_free);
+  ch.next_free = start + wire;
+  ch.busy_ns += wire;
+  SimTime completes = start + wire + params_.rdma_base_ns + extra;
+  lat.Record(completes - now);
+  if (queueing != nullptr) {
+    queueing->Record(start - now);
+  }
+  auto c = std::make_shared<RdmaCompletion>(completes);
+  eng.Spawn(SignalAt(c, completes));
+  return c;
+}
+
+std::shared_ptr<RdmaCompletion> RdmaNic::PostRead(uint64_t bytes) {
+  bytes_read_ += bytes;
+  ++reads_posted_;
+  return Post(read_ch_, bytes, read_latency_, &read_queueing_);
+}
+
+std::shared_ptr<RdmaCompletion> RdmaNic::PostWrite(uint64_t bytes) {
+  bytes_written_ += bytes;
+  ++writes_posted_;
+  return Post(write_ch_, bytes, write_latency_, nullptr);
+}
+
+Task<> RdmaNic::Read(uint64_t bytes) {
+  auto c = PostRead(bytes);
+  co_await c->Wait();
+}
+
+Task<> RdmaNic::Write(uint64_t bytes) {
+  auto c = PostWrite(bytes);
+  co_await c->Wait();
+}
+
+double RdmaNic::ReadUtilization() const {
+  SimTime elapsed = Engine::current().now() - stats_epoch_;
+  return elapsed <= 0 ? 0.0
+                      : static_cast<double>(read_ch_.busy_ns) / static_cast<double>(elapsed);
+}
+
+double RdmaNic::WriteUtilization() const {
+  SimTime elapsed = Engine::current().now() - stats_epoch_;
+  return elapsed <= 0 ? 0.0
+                      : static_cast<double>(write_ch_.busy_ns) / static_cast<double>(elapsed);
+}
+
+double RdmaNic::AchievedReadGbps() const {
+  SimTime elapsed = Engine::current().now() - stats_epoch_;
+  return elapsed <= 0 ? 0.0 : static_cast<double>(bytes_read_) * 8.0 / elapsed;
+}
+
+double RdmaNic::AchievedWriteGbps() const {
+  SimTime elapsed = Engine::current().now() - stats_epoch_;
+  return elapsed <= 0 ? 0.0 : static_cast<double>(bytes_written_) * 8.0 / elapsed;
+}
+
+void RdmaNic::ResetStats() {
+  stats_epoch_ = Engine::current().now();
+  read_ch_.busy_ns = 0;
+  write_ch_.busy_ns = 0;
+  bytes_read_ = bytes_written_ = 0;
+  reads_posted_ = writes_posted_ = 0;
+  read_latency_.Reset();
+  write_latency_.Reset();
+  read_queueing_.Reset();
+}
+
+}  // namespace magesim

@@ -1,0 +1,116 @@
+// RDMA NIC model: two simplex channels (read = remote->local, write =
+// local->remote), each a single FIFO server with finite data rate. An op
+// queues for wire serialization, then experiences the fixed base latency
+// (doorbell, PCIe DMA, propagation, completion). Throughput saturates at
+// bandwidth/page-size — the paper's 5.83 M pages/s ideal — and tail latency
+// grows with queue depth, reproducing the congestion knee of Fig. 15.
+#ifndef MAGESIM_HW_RDMA_H_
+#define MAGESIM_HW_RDMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hw/machine_params.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace magesim {
+
+// Completion handle for asynchronously posted operations.
+class RdmaCompletion {
+ public:
+  explicit RdmaCompletion(SimTime completes_at) : completes_at_(completes_at) {}
+  SimEvent::Awaiter Wait() { return event_.Wait(); }
+  void Signal() { event_.Set(); }
+  bool done() const { return event_.is_set(); }
+  SimTime completes_at() const { return completes_at_; }
+
+ private:
+  SimEvent event_;
+  SimTime completes_at_;
+};
+
+class RdmaNic {
+ public:
+  explicit RdmaNic(const MachineParams& params);
+
+  // Posts a one-sided op; completion time is computed at post (FIFO channel).
+  // The returned handle's event fires at that time. Posting itself is free of
+  // simulated delay; callers model host-stack CPU cost themselves.
+  std::shared_ptr<RdmaCompletion> PostRead(uint64_t bytes);
+  std::shared_ptr<RdmaCompletion> PostWrite(uint64_t bytes);
+
+  // Synchronous helpers.
+  Task<> Read(uint64_t bytes);
+  Task<> Write(uint64_t bytes);
+
+  // Failure injection: between [from, until) the link runs at
+  // `bandwidth_factor` of its rate and ops pay `extra_latency_ns` —
+  // modeling congestion from a bursty neighbor, link retraining, or a
+  // struggling memory node. Multiple windows may be scheduled.
+  void InjectBrownout(SimTime from, SimTime until, double bandwidth_factor,
+                      SimTime extra_latency_ns);
+
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t reads_posted() const { return reads_posted_; }
+  uint64_t writes_posted() const { return writes_posted_; }
+
+  // End-to-end op latency (queueing + wire + base).
+  const Histogram& read_latency() const { return read_latency_; }
+  const Histogram& write_latency() const { return write_latency_; }
+  // Queueing-only component (congestion).
+  const Histogram& read_queueing() const { return read_queueing_; }
+
+  // Fraction of wall time the read/write channel was serializing data since
+  // the last ResetStats().
+  double ReadUtilization() const;
+  double WriteUtilization() const;
+  double AchievedReadGbps() const;
+  double AchievedWriteGbps() const;
+
+  void ResetStats();
+
+  const MachineParams& params() const { return params_; }
+
+ private:
+  struct Channel {
+    SimTime next_free = 0;
+    SimTime busy_ns = 0;
+  };
+
+  struct Brownout {
+    SimTime from;
+    SimTime until;
+    double bandwidth_factor;
+    SimTime extra_latency_ns;
+  };
+
+  // Effective rate/latency adjustments at time `now`.
+  const Brownout* ActiveBrownout(SimTime now) const;
+
+  std::shared_ptr<RdmaCompletion> Post(Channel& ch, uint64_t bytes, Histogram& lat,
+                                       Histogram* queueing);
+  static Task<> SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when);
+
+  MachineParams params_;
+  std::vector<Brownout> brownouts_;
+  Channel read_ch_;
+  Channel write_ch_;
+  SimTime stats_epoch_ = 0;
+
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t reads_posted_ = 0;
+  uint64_t writes_posted_ = 0;
+  Histogram read_latency_;
+  Histogram write_latency_;
+  Histogram read_queueing_;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_HW_RDMA_H_

@@ -1,0 +1,12 @@
+#include "src/hw/topology.h"
+
+namespace magesim {
+
+Topology::Topology(const MachineParams& params) : params_(params) {
+  cores_.reserve(static_cast<size_t>(params.cores()));
+  for (int i = 0; i < params.cores(); ++i) {
+    cores_.emplace_back(i, params.SocketOf(i));
+  }
+}
+
+}  // namespace magesim

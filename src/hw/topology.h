@@ -1,0 +1,69 @@
+// NUMA topology and per-core bookkeeping.
+#ifndef MAGESIM_HW_TOPOLOGY_H_
+#define MAGESIM_HW_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/machine_params.h"
+#include "src/sim/time.h"
+
+namespace magesim {
+
+using CoreId = int;
+
+// One logical CPU. Interrupt work delivered to a core "steals" cycles from
+// whatever thread is pinned there; the owning thread absorbs the stolen time
+// at its next compute step (DrainStolenTime), the standard DES approximation
+// for asynchronous interrupt delivery.
+class Core {
+ public:
+  explicit Core(CoreId id, int socket) : id_(id), socket_(socket) {}
+
+  CoreId id() const { return id_; }
+  int socket() const { return socket_; }
+
+  void AddStolenTime(SimTime ns) {
+    stolen_pending_ns_ += ns;
+    stolen_total_ns_ += ns;
+  }
+
+  SimTime DrainStolenTime() {
+    SimTime t = stolen_pending_ns_;
+    stolen_pending_ns_ = 0;
+    return t;
+  }
+
+  SimTime stolen_total_ns() const { return stolen_total_ns_; }
+  uint64_t interrupts_received() const { return interrupts_received_; }
+  void CountInterrupt() { ++interrupts_received_; }
+
+ private:
+  CoreId id_;
+  int socket_;
+  SimTime stolen_pending_ns_ = 0;
+  SimTime stolen_total_ns_ = 0;
+  uint64_t interrupts_received_ = 0;
+};
+
+class Topology {
+ public:
+  explicit Topology(const MachineParams& params);
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  Core& core(CoreId id) { return cores_[static_cast<size_t>(id)]; }
+  const Core& core(CoreId id) const { return cores_[static_cast<size_t>(id)]; }
+  int SocketOf(CoreId id) const { return cores_[static_cast<size_t>(id)].socket(); }
+  bool SameSocket(CoreId a, CoreId b) const { return SocketOf(a) == SocketOf(b); }
+
+  const MachineParams& params() const { return params_; }
+
+ private:
+  MachineParams params_;
+  std::vector<Core> cores_;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_HW_TOPOLOGY_H_

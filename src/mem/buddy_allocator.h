@@ -1,0 +1,59 @@
+// Binary buddy allocator over page frames (the zone allocator both OSes use,
+// §3.3.3). Pure data-structure logic — callers serialize access and charge
+// simulated critical-section time; contention therefore emerges from how each
+// paging variant wraps it (see percpu_cache.h / multilayer_allocator.h).
+#ifndef MAGESIM_MEM_BUDDY_ALLOCATOR_H_
+#define MAGESIM_MEM_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/frame_pool.h"
+
+namespace magesim {
+
+class BuddyAllocator {
+ public:
+  static constexpr int kMaxOrder = 10;  // up to 4 MB blocks
+  static constexpr uint32_t kNoBlock = ~0u;
+
+  // Manages frames [0, num_frames) of `pool`.
+  explicit BuddyAllocator(FramePool& pool);
+
+  // Allocates a 2^order-page block; returns its first pfn or kNoBlock.
+  uint32_t AllocBlock(int order);
+  void FreeBlock(uint32_t pfn, int order);
+
+  // Single-page conveniences.
+  PageFrame* AllocPage();
+  void FreePage(PageFrame* f);
+
+  uint64_t free_pages() const { return free_pages_; }
+  uint64_t total_pages() const { return num_frames_; }
+
+  // Number of free blocks currently on the order-`order` list.
+  uint64_t FreeListSize(int order) const;
+
+  // Work units (list ops + splits/merges) performed by the last Alloc/Free;
+  // used by callers to charge proportional critical-section time.
+  int last_op_work() const { return last_op_work_; }
+
+  // Validates internal invariants (no overlapping free blocks, counts match);
+  // used by tests. Returns true when consistent.
+  bool CheckConsistency() const;
+
+ private:
+  uint32_t BuddyOf(uint32_t pfn, int order) const { return pfn ^ (1u << order); }
+  void RemoveFromFreeList(uint32_t pfn, int order);
+
+  FramePool& pool_;
+  uint64_t num_frames_;
+  uint64_t free_pages_ = 0;
+  int last_op_work_ = 0;
+  std::vector<std::vector<uint32_t>> free_lists_;  // per order, block start pfns
+  std::vector<int8_t> block_order_;  // order of the free block starting here, -1 otherwise
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_MEM_BUDDY_ALLOCATOR_H_

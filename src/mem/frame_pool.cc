@@ -1,0 +1,20 @@
+#include "src/mem/frame_pool.h"
+
+namespace magesim {
+
+FramePool::FramePool(uint64_t num_frames) {
+  frames_.resize(num_frames);
+  for (uint64_t i = 0; i < num_frames; ++i) {
+    frames_[i].pfn = static_cast<uint32_t>(i);
+  }
+}
+
+uint64_t FramePool::CountInState(PageFrame::State s) const {
+  uint64_t n = 0;
+  for (const auto& f : frames_) {
+    if (f.state == s) ++n;
+  }
+  return n;
+}
+
+}  // namespace magesim

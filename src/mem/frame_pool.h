@@ -1,0 +1,69 @@
+// Physical page frames and their metadata.
+//
+// The simulation uses a single address space (the paper's setups are one
+// application per machine: a unikernel for DiLOS/MageLib, a dedicated VM for
+// MageLnx/Hermit), so a frame maps at most one virtual page.
+#ifndef MAGESIM_MEM_FRAME_POOL_H_
+#define MAGESIM_MEM_FRAME_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/machine_params.h"
+
+namespace magesim {
+
+inline constexpr uint64_t kInvalidVpn = ~0ULL;
+
+// Physical frame metadata (struct page analogue). Intrusively linkable into
+// exactly one accounting list at a time.
+struct PageFrame {
+  uint32_t pfn = 0;
+
+  enum class State : uint8_t {
+    kFree,       // in an allocator
+    kAllocated,  // taken from the allocator, not yet mapped
+    kMapped,     // mapped into the page table
+    kIsolated,   // removed from accounting by an evictor, being processed
+  };
+  State state = State::kFree;
+
+  // Virtual page currently backed by this frame (kInvalidVpn if none).
+  uint64_t vpn = kInvalidVpn;
+
+  // Dirty snapshot taken at unmap time (PTE dirty bit transferred here).
+  bool dirty = false;
+  // Use-once filter (PG_referenced analogue): a page must be referenced on
+  // two consecutive eviction scans to count as hot. Streams touched once per
+  // pass are evicted; genuinely hot pages are protected.
+  bool referenced = false;
+  // Small saturating access-frequency counter (S3-FIFO policy only).
+  uint8_t freq = 0;
+
+  // Intrusive accounting-list linkage.
+  PageFrame* prev = nullptr;
+  PageFrame* next = nullptr;
+  int16_t lru_list = -1;  // accounting partition holding this frame, -1 = none
+
+  bool linked() const { return lru_list >= 0; }
+};
+
+// Flat array of frames covering local DRAM.
+class FramePool {
+ public:
+  explicit FramePool(uint64_t num_frames);
+
+  uint64_t size() const { return frames_.size(); }
+  PageFrame& frame(uint32_t pfn) { return frames_[pfn]; }
+  const PageFrame& frame(uint32_t pfn) const { return frames_[pfn]; }
+
+  uint64_t CountInState(PageFrame::State s) const;
+
+ private:
+  std::vector<PageFrame> frames_;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_MEM_FRAME_POOL_H_

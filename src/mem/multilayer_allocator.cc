@@ -1,0 +1,94 @@
+#include "src/mem/multilayer_allocator.h"
+
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+MultilayerAllocator::MultilayerAllocator(BuddyAllocator& buddy, int num_cores,
+                                         AllocatorCosts costs, int core_cache_batch,
+                                         int core_cache_high)
+    : buddy_(buddy), costs_(costs), batch_(core_cache_batch), high_(core_cache_high) {
+  caches_.resize(static_cast<size_t>(num_cores));
+}
+
+Task<PageFrame*> MultilayerAllocator::Alloc(CoreId core) {
+  SimTime start = Engine::current().now();
+  auto& cache = caches_[static_cast<size_t>(core)];
+  if (!cache.empty()) {
+    co_await Delay{costs_.pcp_hit_ns};
+    // Re-check: a prefetch task sharing this core may have drained the cache
+    // while we were suspended.
+    if (!cache.empty()) {
+      PageFrame* f = cache.back();
+      cache.pop_back();
+      f->state = PageFrame::State::kAllocated;
+      ChargeAlloc(Engine::current().now() - start);
+      co_return f;
+    }
+  }
+  // Level 2: batch-pop from the shared concurrent queue. The critical section
+  // is one pointer-range splice, independent of batch size.
+  {
+    auto g = co_await queue_lock_.Scoped();
+    co_await Delay{costs_.shared_queue_cs_ns};
+    for (int i = 0; i < batch_ && !shared_queue_.empty(); ++i) {
+      cache.push_back(shared_queue_.front());
+      shared_queue_.pop_front();
+    }
+  }
+  if (!cache.empty()) {
+    PageFrame* f = cache.back();
+    cache.pop_back();
+    f->state = PageFrame::State::kAllocated;
+    ChargeAlloc(Engine::current().now() - start);
+    co_return f;
+  }
+  // Level 3: buddy fallback (cold start or eviction falling behind).
+  {
+    auto g = co_await buddy_lock_.Scoped();
+    co_await Delay{costs_.buddy_cs_base_ns};
+    for (int i = 0; i < batch_; ++i) {
+      PageFrame* f = buddy_.AllocPage();
+      if (f == nullptr) break;
+      co_await Delay{costs_.pcp_move_per_page_ns};
+      cache.push_back(f);
+    }
+  }
+  PageFrame* f = nullptr;
+  if (!cache.empty()) {
+    f = cache.back();
+    cache.pop_back();
+    f->state = PageFrame::State::kAllocated;
+  }
+  ChargeAlloc(Engine::current().now() - start);
+  co_return f;
+}
+
+Task<> MultilayerAllocator::Free(CoreId core, PageFrame* f) {
+  auto& cache = caches_[static_cast<size_t>(core)];
+  co_await Delay{costs_.pcp_hit_ns};
+  cache.push_back(f);
+  if (static_cast<int>(cache.size()) > high_) {
+    auto g = co_await queue_lock_.Scoped();
+    co_await Delay{costs_.shared_queue_cs_ns};
+    // Size re-checked each step: concurrent Allocs on this core may have
+    // drained the cache while we held the queue lock.
+    while (!cache.empty() && static_cast<int>(cache.size()) > high_ - batch_) {
+      shared_queue_.push_back(cache.back());
+      cache.pop_back();
+    }
+  }
+}
+
+Task<> MultilayerAllocator::FreeBatch(CoreId core, const std::vector<PageFrame*>& frames) {
+  auto g = co_await queue_lock_.Scoped();
+  co_await Delay{costs_.shared_queue_cs_ns};
+  for (PageFrame* f : frames) {
+    f->state = PageFrame::State::kFree;
+    f->vpn = kInvalidVpn;
+    f->dirty = false;
+    shared_queue_.push_back(f);
+  }
+}
+
+}  // namespace magesim

@@ -1,0 +1,74 @@
+// Local physical-page allocation strategies (§3.3.3, §4.2.3).
+//
+// PageAllocator is the interface the paging paths use to circulate frames
+// between free and used states. The three concrete strategies model the
+// systems compared in the paper:
+//  * PcpAllocator        — Linux: per-CPU page caches over a global buddy lock
+//                          (Hermit, MageLnx's starting point).
+//  * GlobalMutexAllocator— DiLOS: every alloc/free takes one global sleepable
+//                          mutex on the physical allocator (§3.2).
+//  * MultilayerAllocator — MAGE: per-core cache -> shared concurrent queue ->
+//                          buddy fallback (§5.2), with different strategies
+//                          for application vs. eviction threads.
+#ifndef MAGESIM_MEM_PAGE_ALLOCATOR_H_
+#define MAGESIM_MEM_PAGE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/topology.h"
+#include "src/mem/buddy_allocator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace magesim {
+
+struct AllocatorCosts {
+  SimTime buddy_cs_base_ns = 250;      // global buddy lock critical section
+  SimTime buddy_cs_per_work_ns = 40;   // per split/merge/list operation
+  SimTime pcp_hit_ns = 25;             // lockless per-CPU cache hit
+  SimTime pcp_move_per_page_ns = 30;   // moving one page cache<->buddy
+  SimTime shared_queue_cs_ns = 70;     // MAGE concurrent-queue batch op
+  SimTime global_mutex_cs_ns = 280;    // DiLOS per-op mutex hold time
+};
+
+class PageAllocator {
+ public:
+  virtual ~PageAllocator() = default;
+
+  // Grabs one free frame for `core`, or nullptr if none is available anywhere.
+  // May suspend on allocator locks.
+  virtual Task<PageFrame*> Alloc(CoreId core) = 0;
+
+  // Returns one frame.
+  virtual Task<> Free(CoreId core, PageFrame* f) = 0;
+
+  // Returns a batch of frames (the eviction path reclaims whole batches).
+  virtual Task<> FreeBatch(CoreId core, const std::vector<PageFrame*>& frames) = 0;
+
+  // Globally visible free pages (what watermark logic sees). Per-core caches
+  // are intentionally excluded, as in Linux.
+  virtual uint64_t global_free_pages() const = 0;
+
+  // Contention on the allocator's shared lock(s).
+  virtual const LockStats& lock_stats() const = 0;
+
+  // Cumulative simulated time spent inside Alloc() across all callers
+  // (the "mem circulation" component of the fault-latency breakdowns).
+  SimTime alloc_time_total() const { return alloc_time_total_; }
+  uint64_t allocs() const { return allocs_; }
+
+ protected:
+  void ChargeAlloc(SimTime t) {
+    alloc_time_total_ += t;
+    ++allocs_;
+  }
+
+ private:
+  SimTime alloc_time_total_ = 0;
+  uint64_t allocs_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_MEM_PAGE_ALLOCATOR_H_

@@ -1,0 +1,72 @@
+#include "src/mem/page_table.h"
+
+#include <cassert>
+
+namespace magesim {
+
+PageTable::PageTable(uint64_t num_pages) : num_pages_(num_pages) {
+  ptes_.resize(num_pages);
+}
+
+void PageTable::Map(uint64_t vpn, PageFrame* frame) {
+  assert(vpn < num_pages_);
+  Pte& pte = ptes_[vpn];
+  assert(!pte.present);
+  pte.frame = frame;
+  pte.present = true;
+  pte.accessed = true;  // the faulting access counts as a reference
+  pte.dirty = false;
+  frame->state = PageFrame::State::kMapped;
+  frame->vpn = vpn;
+  ++mapped_;
+}
+
+PageFrame* PageTable::Unmap(uint64_t vpn) {
+  assert(vpn < num_pages_);
+  Pte& pte = ptes_[vpn];
+  assert(pte.present);
+  PageFrame* f = pte.frame;
+  f->dirty = pte.dirty;
+  f->referenced = false;
+  f->freq = 0;
+  f->state = PageFrame::State::kIsolated;
+  pte.frame = nullptr;
+  pte.present = false;
+  pte.accessed = false;
+  pte.dirty = false;
+  --mapped_;
+  return f;
+}
+
+bool PageTable::TryBeginFault(uint64_t vpn) {
+  Pte& pte = ptes_[vpn];
+  if (pte.fault_in_flight) return false;
+  pte.fault_in_flight = true;
+  return true;
+}
+
+Task<> PageTable::WaitForFault(uint64_t vpn) {
+  auto it = fault_waiters_.find(vpn);
+  std::shared_ptr<SimEvent> ev;
+  if (it == fault_waiters_.end()) {
+    ev = std::make_shared<SimEvent>();
+    fault_waiters_.emplace(vpn, ev);
+  } else {
+    ev = it->second;
+  }
+  ++dedup_waits_;
+  co_await ev->Wait();
+}
+
+void PageTable::EndFault(uint64_t vpn) {
+  Pte& pte = ptes_[vpn];
+  assert(pte.fault_in_flight);
+  pte.fault_in_flight = false;
+  auto it = fault_waiters_.find(vpn);
+  if (it != fault_waiters_.end()) {
+    it->second->Set();
+    fault_waiters_.erase(it);
+  }
+}
+
+}  // namespace magesim

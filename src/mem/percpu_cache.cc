@@ -1,0 +1,104 @@
+#include "src/mem/percpu_cache.h"
+
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+PcpAllocator::PcpAllocator(BuddyAllocator& buddy, int num_cores, AllocatorCosts costs, int batch,
+                           int high_watermark)
+    : buddy_(buddy), costs_(costs), batch_(batch), high_(high_watermark) {
+  caches_.resize(static_cast<size_t>(num_cores));
+}
+
+Task<PageFrame*> PcpAllocator::Alloc(CoreId core) {
+  SimTime start = Engine::current().now();
+  auto& cache = caches_[static_cast<size_t>(core)];
+  if (!cache.empty()) {
+    co_await Delay{costs_.pcp_hit_ns};
+    // Re-check after the suspension: another context on this core (e.g. a
+    // prefetch task) may have drained the cache meanwhile.
+    if (!cache.empty()) {
+      PageFrame* f = cache.back();
+      cache.pop_back();
+      ChargeAlloc(Engine::current().now() - start);
+      co_return f;
+    }
+  }
+  // Refill a batch from the buddy allocator under its lock.
+  {
+    auto g = co_await buddy_lock_.Scoped();
+    co_await Delay{costs_.buddy_cs_base_ns};
+    for (int i = 0; i < batch_; ++i) {
+      PageFrame* f = buddy_.AllocPage();
+      if (f == nullptr) break;
+      co_await Delay{costs_.pcp_move_per_page_ns};
+      cache.push_back(f);
+    }
+  }
+  if (cache.empty()) {
+    ChargeAlloc(Engine::current().now() - start);
+    co_return nullptr;
+  }
+  PageFrame* f = cache.back();
+  cache.pop_back();
+  ChargeAlloc(Engine::current().now() - start);
+  co_return f;
+}
+
+Task<> PcpAllocator::Free(CoreId core, PageFrame* f) {
+  auto& cache = caches_[static_cast<size_t>(core)];
+  co_await Delay{costs_.pcp_hit_ns};
+  cache.push_back(f);
+  if (static_cast<int>(cache.size()) > high_) {
+    auto g = co_await buddy_lock_.Scoped();
+    co_await Delay{costs_.buddy_cs_base_ns};
+    while (!cache.empty() && static_cast<int>(cache.size()) > high_ - batch_) {
+      co_await Delay{costs_.pcp_move_per_page_ns};
+      if (cache.empty()) break;  // drained during the per-page delay
+      buddy_.FreePage(cache.back());
+      cache.pop_back();
+    }
+  }
+}
+
+Task<> PcpAllocator::FreeBatch(CoreId core, const std::vector<PageFrame*>& frames) {
+  // Reclaim bypasses the pcp cache and frees straight to the buddy (as
+  // Linux's release_pages does for reclaimed batches).
+  auto g = co_await buddy_lock_.Scoped();
+  co_await Delay{costs_.buddy_cs_base_ns};
+  for (PageFrame* f : frames) {
+    buddy_.FreePage(f);
+    co_await Delay{costs_.buddy_cs_per_work_ns * buddy_.last_op_work()};
+  }
+}
+
+GlobalMutexAllocator::GlobalMutexAllocator(BuddyAllocator& buddy, AllocatorCosts costs)
+    : buddy_(buddy), costs_(costs) {}
+
+Task<PageFrame*> GlobalMutexAllocator::Alloc(CoreId core) {
+  SimTime start = Engine::current().now();
+  PageFrame* f = nullptr;
+  {
+    auto g = co_await mutex_.Scoped();
+    co_await Delay{costs_.global_mutex_cs_ns};
+    f = buddy_.AllocPage();
+  }
+  ChargeAlloc(Engine::current().now() - start);
+  co_return f;
+}
+
+Task<> GlobalMutexAllocator::Free(CoreId core, PageFrame* f) {
+  auto g = co_await mutex_.Scoped();
+  co_await Delay{costs_.global_mutex_cs_ns};
+  buddy_.FreePage(f);
+}
+
+Task<> GlobalMutexAllocator::FreeBatch(CoreId core, const std::vector<PageFrame*>& frames) {
+  auto g = co_await mutex_.Scoped();
+  for (PageFrame* f : frames) {
+    co_await Delay{costs_.global_mutex_cs_ns / 2};  // batched frees amortize
+    buddy_.FreePage(f);
+  }
+}
+
+}  // namespace magesim

@@ -1,0 +1,60 @@
+#include "src/mem/swap_allocator.h"
+
+#include <cassert>
+
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+SwapAllocator::SwapAllocator(uint64_t num_slots, int num_cores, SimTime cs_ns)
+    : num_slots_(num_slots), free_slots_(num_slots), cs_ns_(cs_ns) {
+  used_.assign(num_slots, false);
+  cluster_hint_.resize(static_cast<size_t>(num_cores));
+  // Stagger per-core cluster hints across the device, as Linux's per-CPU
+  // cluster allocation does.
+  for (size_t i = 0; i < cluster_hint_.size(); ++i) {
+    cluster_hint_[i] = (i * kClusterSlots) % (num_slots == 0 ? 1 : num_slots);
+  }
+}
+
+uint64_t SwapAllocator::ScanFrom(uint64_t start) {
+  for (uint64_t i = 0; i < num_slots_; ++i) {
+    uint64_t s = (start + i) % num_slots_;
+    if (!used_[s]) return s;
+  }
+  return kNoSlot;
+}
+
+void SwapAllocator::MarkUsedForSetup(uint64_t slot) {
+  assert(slot < num_slots_);
+  if (!used_[slot]) {
+    used_[slot] = true;
+    --free_slots_;
+  }
+}
+
+Task<uint64_t> SwapAllocator::Alloc(CoreId core) {
+  auto g = co_await lock_.Scoped();
+  co_await Delay{cs_ns_};
+  if (free_slots_ == 0) {
+    co_return kNoSlot;
+  }
+  uint64_t& hint = cluster_hint_[static_cast<size_t>(core)];
+  uint64_t slot = ScanFrom(hint);
+  assert(slot != kNoSlot);
+  used_[slot] = true;
+  --free_slots_;
+  hint = (slot + 1) % num_slots_;
+  co_return slot;
+}
+
+Task<> SwapAllocator::Free(uint64_t slot) {
+  assert(slot < num_slots_);
+  auto g = co_await lock_.Scoped();
+  co_await Delay{cs_ns_ / 2};
+  assert(used_[slot]);
+  used_[slot] = false;
+  ++free_slots_;
+}
+
+}  // namespace magesim

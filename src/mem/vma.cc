@@ -1,0 +1,55 @@
+#include "src/mem/vma.h"
+
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+namespace {
+
+const Vma* Lookup(const std::vector<Vma>& vmas, uint64_t vpn) {
+  for (const Vma& v : vmas) {
+    if (vpn >= v.start_vpn && vpn < v.end_vpn) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Task<const Vma*> LockedVmaSet::Find(uint64_t vpn) {
+  auto g = co_await lock_.Scoped();
+  co_await Delay{cs_ns_};
+  co_return Lookup(vmas_, vpn);
+}
+
+ShardedVmaSet::ShardedVmaSet(uint64_t total_vpns, int num_shards, SimTime cs_ns)
+    : cs_ns_(cs_ns),
+      vpns_per_shard_((total_vpns + static_cast<uint64_t>(num_shards) - 1) /
+                      static_cast<uint64_t>(num_shards)) {
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<SimMutex>("vma-shard"));
+  }
+}
+
+Task<const Vma*> ShardedVmaSet::Find(uint64_t vpn) {
+  size_t shard = static_cast<size_t>(vpn / vpns_per_shard_) % shards_.size();
+  auto g = co_await shards_[shard]->Scoped();
+  co_await Delay{cs_ns_};
+  co_return Lookup(vmas_, vpn);
+}
+
+LockStats ShardedVmaSet::AggregateLockStats() const {
+  LockStats agg;
+  for (const auto& s : shards_) {
+    agg.acquisitions += s->stats().acquisitions;
+    agg.contended += s->stats().contended;
+    agg.total_wait_ns += s->stats().total_wait_ns;
+    agg.max_wait_ns = std::max(agg.max_wait_ns, s->stats().max_wait_ns);
+  }
+  return agg;
+}
+
+Task<const Vma*> NoVma::Find(uint64_t vpn) {
+  co_return(vpn < vma_.end_vpn ? &vma_ : nullptr);
+}
+
+}  // namespace magesim

@@ -1,0 +1,82 @@
+// Virtual memory area lookup on the fault path (§3.2).
+//
+// Hermit (Linux) takes mm-wide locks around VMA lookup; under fault storms
+// the associated cacheline traffic and read-side serialization contend
+// (the paper: "locks associated with virtual memory areas"). MageLnx shards
+// the address-space lock by interval ("interval-tree-based shards", §5.1);
+// unikernels (DiLOS, MageLib) have one flat address space and skip VMA
+// locking altogether.
+#ifndef MAGESIM_MEM_VMA_H_
+#define MAGESIM_MEM_VMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace magesim {
+
+struct Vma {
+  uint64_t start_vpn;
+  uint64_t end_vpn;  // exclusive
+  int id;
+};
+
+// Interface: resolve the VMA covering `vpn`, paying variant-specific
+// synchronization costs.
+class VmaResolver {
+ public:
+  virtual ~VmaResolver() = default;
+  virtual Task<const Vma*> Find(uint64_t vpn) = 0;
+  virtual const LockStats* lock_stats() const { return nullptr; }
+};
+
+// Linux-style: one mmap lock serializing lookups (read-mostly rwsem modeled
+// as a short exclusive section: the contended cost is cacheline ping-pong).
+class LockedVmaSet : public VmaResolver {
+ public:
+  explicit LockedVmaSet(SimTime cs_ns = 60) : cs_ns_(cs_ns) {}
+
+  void Add(Vma vma) { vmas_.push_back(vma); }
+  Task<const Vma*> Find(uint64_t vpn) override;
+  const LockStats* lock_stats() const override { return &lock_.stats(); }
+
+ private:
+  SimTime cs_ns_;
+  std::vector<Vma> vmas_;
+  SimMutex lock_{"mmap-lock"};
+};
+
+// MageLnx-style: the address range is partitioned into fixed shards, each
+// with its own lock; faults on different shards never contend.
+class ShardedVmaSet : public VmaResolver {
+ public:
+  ShardedVmaSet(uint64_t total_vpns, int num_shards, SimTime cs_ns = 60);
+
+  void Add(Vma vma) { vmas_.push_back(vma); }
+  Task<const Vma*> Find(uint64_t vpn) override;
+  const LockStats* lock_stats() const override { return &shards_[0]->stats(); }
+  LockStats AggregateLockStats() const;
+
+ private:
+  SimTime cs_ns_;
+  uint64_t vpns_per_shard_;
+  std::vector<Vma> vmas_;
+  std::vector<std::unique_ptr<SimMutex>> shards_;
+};
+
+// Unikernel: single flat address space, no lookup cost at all.
+class NoVma : public VmaResolver {
+ public:
+  explicit NoVma(uint64_t total_vpns) : vma_{0, total_vpns, 0} {}
+  Task<const Vma*> Find(uint64_t vpn) override;
+
+ private:
+  Vma vma_;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_MEM_VMA_H_

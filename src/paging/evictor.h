@@ -1,0 +1,8 @@
+// Evictor thread entry points live on Kernel (kernel.h); this header exists
+// for discoverability and future extension points (custom eviction policies).
+#ifndef MAGESIM_PAGING_EVICTOR_H_
+#define MAGESIM_PAGING_EVICTOR_H_
+
+#include "src/paging/kernel.h"
+
+#endif  // MAGESIM_PAGING_EVICTOR_H_

@@ -1,0 +1,127 @@
+// Kernel fault-in path (FP of Fig. 2), with per-phase latency attribution.
+#include <cassert>
+
+#include "src/paging/kernel.h"
+#include "src/paging/prefetcher.h"
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
+  Engine& eng = Engine::current();
+  const MachineParams& hw = topo_.params();
+  SimTime t0 = eng.now();
+  assert(vpn < wss_pages_);
+  ++faults_per_core_[static_cast<size_t>(core)];
+
+  if (config_.variant == Variant::kIdeal) {
+    // Zero software overhead: only the data movement cost (§3.1).
+    Pte& pte = pt_->At(vpn);
+    if (pte.present) co_return;
+    if (!pt_->TryBeginFault(vpn)) {
+      co_await pt_->WaitForFault(vpn);
+      stats_.fault_latency.Record(eng.now() - t0);
+      co_return;
+    }
+    ++stats_.faults;
+    PageFrame* f = co_await AllocWithPressure(core, vpn);
+    assert(f != nullptr);
+    co_await nic_.Read(kPageSize);
+    pt_->Map(vpn, f);
+    if (write) {
+      pt_->At(vpn).dirty = true;
+      remote_valid_[vpn] = false;
+    }
+    ideal_fifo_.push_back(vpn);
+    pt_->EndFault(vpn);
+    stats_.fault_latency.Record(eng.now() - t0);
+    co_return;
+  }
+
+  // --- Trap entry and dispatch ---
+  co_await Delay{config_.fault_entry_ns + hw.page_table_walk_ns};
+
+  // --- VMA resolution (variant-dependent locking) ---
+  {
+    const Vma* v = co_await vma_->Find(vpn);
+    assert(v != nullptr);
+  }
+  stats_.fault_breakdown.Add("entry", eng.now() - t0);
+
+  Pte& pte = pt_->At(vpn);
+  if (pte.present) {
+    // Raced with a concurrent fault or prefetch: minor fault.
+    pte.accessed = true;
+    if (write) {
+      pte.dirty = true;
+      remote_valid_[vpn] = false;
+    }
+    co_return;
+  }
+  if (!pt_->TryBeginFault(vpn)) {
+    // Fault dedup via the unified page table / swap cache: wait for the
+    // in-flight fault instead of issuing a duplicate read.
+    ++stats_.dedup_waits;
+    co_await pt_->WaitForFault(vpn);
+    stats_.fault_latency.Record(eng.now() - t0);
+    co_return;
+  }
+  ++stats_.faults;
+
+  // --- Serialized mm bookkeeping (page-table lock, rmap, cgroup: Linux) ---
+  if (config_.mm_locks_cs_ns > 0) {
+    SimTime m0 = eng.now();
+    auto g = co_await mm_locks_.Scoped();
+    co_await Delay{config_.mm_locks_cs_ns};
+    stats_.fault_breakdown.Add("other", eng.now() - m0);
+  }
+
+  // --- FP1: local page allocation (may wait for / trigger eviction) ---
+  SimTime a0 = eng.now();
+  PageFrame* frame = co_await AllocWithPressure(core, vpn);
+  assert(frame != nullptr);
+  stats_.fault_breakdown.Add("alloc", eng.now() - a0);
+
+  // --- FP2: RDMA read of the page ---
+  SimTime r0 = eng.now();
+  if (config_.rdma_stack_cs_ns > 0) {
+    auto g = co_await rdma_stack_lock_.Scoped();
+    co_await Delay{config_.rdma_stack_cs_ns};
+  }
+  co_await nic_.Read(kPageSize);
+  stats_.fault_breakdown.Add("rdma", eng.now() - r0);
+
+  // --- Swap bookkeeping (slot-based variants free the slot on swap-in) ---
+  SimTime o0 = eng.now();
+  if (swap_ != nullptr && pte.swap_slot != kNoSwapSlot) {
+    co_await swap_->Free(pte.swap_slot);
+    pte.swap_slot = kNoSwapSlot;
+  }
+  // Residual per-fault OS work outside the modeled locks.
+  if (config_.fault_extra_ns > 0) {
+    co_await Delay{config_.fault_extra_ns};
+  }
+
+  // --- Install the mapping ---
+  co_await Delay{hw.pte_update_ns};
+  pt_->Map(vpn, frame);
+  if (write) {
+    pte.dirty = true;
+    remote_valid_[vpn] = false;
+  }
+  stats_.fault_breakdown.Add("other", eng.now() - o0);
+
+  // --- FP3: page accounting insert ---
+  SimTime acc0 = eng.now();
+  co_await accounting_->Insert(core, frame);
+  stats_.fault_breakdown.Add("accounting", eng.now() - acc0);
+
+  pt_->EndFault(vpn);
+  stats_.fault_latency.Record(eng.now() - t0);
+
+  if (prefetcher_ != nullptr) {
+    prefetcher_->OnFault(core, vpn);
+  }
+}
+
+}  // namespace magesim

@@ -1,0 +1,363 @@
+#include "src/paging/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/accounting/global_lru.h"
+#include "src/accounting/mglru.h"
+#include "src/accounting/partitioned_fifo.h"
+#include "src/accounting/s3fifo.h"
+#include "src/paging/prefetcher.h"
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+Kernel::Kernel(const KernelConfig& config, Topology& topo, TlbShootdownManager& tlb,
+               RdmaNic& nic, uint64_t local_pages, uint64_t wss_pages)
+    : config_(config),
+      topo_(topo),
+      tlb_(tlb),
+      nic_(nic),
+      local_pages_(local_pages),
+      wss_pages_(wss_pages),
+      direct_map_(0) {
+  low_wm_ = static_cast<uint64_t>(static_cast<double>(local_pages) * config.low_watermark);
+  high_wm_ = static_cast<uint64_t>(static_cast<double>(local_pages) * config.high_watermark);
+  min_wm_ = static_cast<uint64_t>(static_cast<double>(local_pages) * config.min_watermark);
+  low_wm_ = std::max<uint64_t>(low_wm_, 16);
+  high_wm_ = std::max<uint64_t>(high_wm_, low_wm_ + 16);
+  min_wm_ = std::max<uint64_t>(min_wm_, 4);
+
+  // Scale-down guard: eviction batches must stay small relative to the local
+  // pool or concurrent evictors would isolate the entire residency at once
+  // (the paper's pools are millions of pages; benches shrink them).
+  int max_batch = static_cast<int>(
+      local_pages / (8 * static_cast<uint64_t>(std::max(config_.num_evictors, 1))));
+  if (max_batch < 8) max_batch = 8;
+  if (config_.evict_batch_pages > max_batch) config_.evict_batch_pages = max_batch;
+  if (config_.sync_evict_batch > max_batch) config_.sync_evict_batch = max_batch;
+
+  frames_ = std::make_unique<FramePool>(local_pages);
+  buddy_ = std::make_unique<BuddyAllocator>(*frames_);
+  // Per-core cache depth scaled to the pool so small simulated pools don't
+  // strand most of their memory in caches (Linux similarly shrinks pcp
+  // batches on small zones).
+  int cache_batch = static_cast<int>(std::clamp<uint64_t>(
+      local_pages / (static_cast<uint64_t>(topo.num_cores()) * 16), 4, 32));
+  switch (config.allocator) {
+    case AllocStrategy::kPcp:
+      allocator_ = std::make_unique<PcpAllocator>(*buddy_, topo.num_cores(), AllocatorCosts{},
+                                                  cache_batch, cache_batch * 2);
+      break;
+    case AllocStrategy::kGlobalMutex:
+      allocator_ = std::make_unique<GlobalMutexAllocator>(*buddy_);
+      break;
+    case AllocStrategy::kMultilayer:
+      allocator_ = std::make_unique<MultilayerAllocator>(*buddy_, topo.num_cores(),
+                                                         AllocatorCosts{}, cache_batch,
+                                                         cache_batch * 2);
+      break;
+  }
+
+  pt_ = std::make_unique<PageTable>(wss_pages);
+  switch (config.accounting) {
+    case AccountingPolicy::kPartitionedFifo:
+      accounting_ = std::make_unique<PartitionedFifo>(*pt_, config.accounting_partitions,
+                                                      std::max(config.num_evictors, 1));
+      break;
+    case AccountingPolicy::kGlobalLru:
+      accounting_ = std::make_unique<GlobalLru>(*pt_);
+      break;
+    case AccountingPolicy::kS3Fifo:
+      accounting_ = std::make_unique<S3Fifo>(*pt_);
+      break;
+    case AccountingPolicy::kMgLru:
+      accounting_ = std::make_unique<MgLru>(*pt_);
+      break;
+  }
+
+  switch (config.vma_mode) {
+    case VmaMode::kNone:
+      vma_ = std::make_unique<NoVma>(wss_pages);
+      break;
+    case VmaMode::kLocked: {
+      auto v = std::make_unique<LockedVmaSet>();
+      v->Add({0, wss_pages, 0});
+      vma_ = std::move(v);
+      break;
+    }
+    case VmaMode::kSharded: {
+      auto v = std::make_unique<ShardedVmaSet>(wss_pages, 64);
+      v->Add({0, wss_pages, 0});
+      vma_ = std::move(v);
+      break;
+    }
+  }
+
+  if (!config.direct_remote_map) {
+    // Swap device sized like the paper's remote pool: the full working set.
+    swap_ = std::make_unique<SwapAllocator>(wss_pages + (wss_pages / 4), topo.num_cores());
+  }
+
+  if (config.prefetch) {
+    prefetcher_ = std::make_unique<Prefetcher>(*this, config.prefetch_window);
+  }
+
+  remote_valid_.assign(wss_pages, false);
+  prefetched_.assign(wss_pages, false);
+  active_evictors_ = config.feedback_evictors ? 1 : config.num_evictors;
+  faults_per_core_.assign(static_cast<size_t>(topo.num_cores()), 0);
+}
+
+Kernel::~Kernel() = default;
+
+uint64_t Kernel::free_pages() const { return allocator_->global_free_pages(); }
+
+void Kernel::Prepopulate(uint64_t resident_pages) {
+  resident_pages = std::min(resident_pages, wss_pages_);
+  resident_pages = std::min(resident_pages, local_pages_);
+  // Spread resident pages evenly across the working set (Bresenham) so every
+  // thread's shard starts with the same residency fraction — the symmetric
+  // steady state a warmed-up system converges to.
+  uint64_t acc = 0;
+  uint64_t mapped = 0;
+  for (uint64_t vpn = 0; vpn < wss_pages_ && mapped < resident_pages; ++vpn) {
+    acc += resident_pages;
+    if (acc < wss_pages_) continue;
+    acc -= wss_pages_;
+    ++mapped;
+    PageFrame* f = buddy_->AllocPage();
+    assert(f != nullptr);
+    pt_->Map(vpn, f);
+    pt_->At(vpn).accessed = false;
+    // Register with accounting directly (setup-time, no lock costs). Spread
+    // across stand-in core ids so partitioned accounting starts balanced.
+    if (config_.variant == Variant::kIdeal) {
+      ideal_fifo_.push_back(vpn);
+    } else {
+      accounting_->InsertSetup(static_cast<CoreId>(vpn % 64), f);
+    }
+  }
+  // All pages have valid remote copies in the warmed-up state.
+  remote_valid_.assign(wss_pages_, true);
+  // Non-resident pages live in swap when slot-based.
+  if (swap_ != nullptr) {
+    for (uint64_t vpn = 0; vpn < wss_pages_; ++vpn) {
+      if (pt_->At(vpn).present) continue;
+      pt_->At(vpn).swap_slot = vpn;  // setup-time identity assignment
+      swap_->MarkUsedForSetup(vpn);
+    }
+  }
+}
+
+bool Kernel::TryFastAccess(uint64_t vpn, bool write) {
+  Pte& pte = pt_->At(vpn);
+  if (!pte.present) return false;
+  pte.accessed = true;
+  if (write) {
+    pte.dirty = true;
+    remote_valid_[vpn] = false;
+  }
+  if (prefetched_[vpn]) {
+    prefetched_[vpn] = false;
+    ++stats_.prefetch_hits;
+  }
+  ++stats_.fast_hits;
+  return true;
+}
+
+void Kernel::InstantReclaim(uint64_t vpn) {
+  Pte& pte = pt_->At(vpn);
+  if (!pte.present || pte.fault_in_flight) return;
+  PageFrame* f = pt_->Unmap(vpn);
+  accounting_->Unlink(f);
+  remote_valid_[vpn] = true;  // emulates a completed pageout
+  buddy_->FreePage(f);        // resets state/vpn/dirty
+}
+
+void Kernel::IdealReclaimOne() {
+  while (!ideal_fifo_.empty()) {
+    uint64_t vpn = ideal_fifo_.front();
+    ideal_fifo_.pop_front();
+    Pte& pte = pt_->At(vpn);
+    if (!pte.present || pte.fault_in_flight) continue;
+    PageFrame* f = pt_->Unmap(vpn);
+    remote_valid_[vpn] = true;  // ideal eviction costs nothing
+    buddy_->FreePage(f);        // resets state/vpn/dirty
+    return;
+  }
+}
+
+void Kernel::MaybeWakeEvictors() {
+  if (free_pages() < low_wm_) {
+    evictor_wake_.Pulse();
+  }
+}
+
+Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
+  if (config_.variant == Variant::kIdeal) {
+    PageFrame* f = buddy_->AllocPage();
+    if (f == nullptr) {
+      IdealReclaimOne();
+      f = buddy_->AllocPage();
+    }
+    co_return f;
+  }
+  for (int attempt = 0;; ++attempt) {
+    // Trigger sync eviction below the min watermark (Hermit/DiLOS eager
+    // behavior) or on outright allocation failure.
+    if (config_.allow_sync_eviction && free_pages() <= min_wm_) {
+      co_await SyncEvict(core);
+    }
+    PageFrame* f = co_await allocator_->Alloc(core);
+    if (f != nullptr) {
+      MaybeWakeEvictors();
+      co_return f;
+    }
+    MaybeWakeEvictors();
+    if (config_.allow_sync_eviction) {
+      co_await SyncEvict(core);
+      continue;
+    }
+    // MAGE P1: the fault path never evicts; wait for the EP to free pages.
+    // Lost-wakeup guard: the evictors may have replenished the pools while
+    // this thread was still suspended inside the failed Alloc (its Reset
+    // below would wipe that Set). Retry instead of sleeping if pages exist.
+    if (free_pages() > 0) {
+      continue;
+    }
+    ++stats_.free_page_waits;
+    SimTime w0 = Engine::current().now();
+    free_pages_available_.Reset();
+    co_await free_pages_available_.Wait();
+    stats_.free_wait_time_total += Engine::current().now() - w0;
+  }
+}
+
+Task<> Kernel::SyncEvict(CoreId core) {
+  SimTime t0 = Engine::current().now();
+  ++stats_.sync_evictions;
+  co_await EvictBatchSequential(/*evictor_id=*/core % std::max(config_.num_evictors, 1), core,
+                                static_cast<size_t>(config_.sync_evict_batch),
+                                &stats_.fault_breakdown);
+  stats_.sync_evict_latency.Record(Engine::current().now() - t0);
+}
+
+Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
+                                    std::vector<PageFrame*>* out, Breakdown* sync_attr) {
+  SimTime i0 = Engine::current().now();
+  size_t got = co_await accounting_->IsolateBatch(evictor_id, core, batch, out);
+  if (sync_attr != nullptr) {
+    sync_attr->Add("accounting", Engine::current().now() - i0);
+  }
+  if (got == 0) co_return 0;
+  const MachineParams& hw = topo_.params();
+  for (PageFrame* f : *out) {
+    assert(f->vpn != kInvalidVpn);
+    uint64_t vpn = f->vpn;
+    co_await Delay{hw.pte_update_ns + config_.evict_page_cost_ns};
+    pt_->Unmap(vpn);  // transfers the dirty bit onto the frame
+    if (swap_ != nullptr) {
+      // EP3: allocate remote swap space under the global swap lock.
+      Pte& pte = pt_->At(vpn);
+      if (pte.swap_slot == kNoSwapSlot) {
+        uint64_t slot = co_await swap_->Alloc(core);
+        pte.swap_slot = slot;
+      }
+    }
+    // Direct mapping needs no allocation: remote_addr = local_addr (§4.2.3).
+  }
+  co_return got;
+}
+
+std::shared_ptr<RdmaCompletion> Kernel::PostWriteback(const std::vector<PageFrame*>& victims) {
+  std::shared_ptr<RdmaCompletion> last;
+  for (PageFrame* f : victims) {
+    uint64_t vpn = f->vpn;  // Unmap preserved frame->vpn for writeback routing
+    if (f->dirty || !remote_valid_[vpn]) {
+      last = nic_.PostWrite(kPageSize);
+      remote_valid_[vpn] = true;
+    } else {
+      ++stats_.clean_reclaims;
+    }
+  }
+  return last;
+}
+
+Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t batch,
+                                          Breakdown* sync_attr) {
+  std::vector<PageFrame*> victims;
+  victims.reserve(batch);
+  size_t got = co_await PrepareVictims(evictor_id, core, batch, &victims, sync_attr);
+  if (got == 0) co_return 0;
+
+  // EP2: invalidate victim translations everywhere — or, in lazy-TLB mode,
+  // wait for the next reconciliation tick instead of sending IPIs.
+  SimTime s0 = Engine::current().now();
+  if (config_.lazy_tlb) {
+    co_await lazy_epoch_.Wait();
+  } else {
+    co_await tlb_.Shootdown(core, static_cast<int>(got));
+  }
+  if (sync_attr != nullptr) {
+    sync_attr->Add("tlb", Engine::current().now() - s0);
+  }
+
+  // EP4: write back dirty pages.
+  SimTime w0 = Engine::current().now();
+  auto last = PostWriteback(victims);
+  if (last != nullptr) {
+    co_await last->Wait();
+  }
+  if (sync_attr != nullptr) {
+    sync_attr->Add("other", Engine::current().now() - w0);
+  }
+
+  // Reclaim frames into the allocator and release waiting fault paths.
+  co_await allocator_->FreeBatch(core, victims);
+  stats_.evicted_pages += got;
+  ++stats_.eviction_batches;
+  free_pages_available_.Set();
+  co_return got;
+}
+
+Task<> Kernel::LazyTlbTickerMain() {
+  // Scheduler-tick reconciliation (LATR-style): each tick performs a local
+  // full flush on every application core (charged as stolen time) and
+  // releases eviction batches parked on the epoch.
+  Engine& eng = Engine::current();
+  const MachineParams& hw = topo_.params();
+  while (!eng.shutdown_requested()) {
+    co_await Delay{config_.lazy_tlb_period_ns};
+    ++lazy_epochs_;
+    for (CoreId c : tlb_.target_cores()) {
+      topo_.core(c).AddStolenTime(hw.full_flush_ns);
+    }
+    lazy_epoch_.Pulse();
+  }
+}
+
+void Kernel::Start(int num_app_cores) {
+  assert(!started_);
+  started_ = true;
+  if (config_.variant == Variant::kIdeal) return;
+  Engine& eng = Engine::current();
+  int total_cores = topo_.num_cores();
+  for (int i = 0; i < config_.num_evictors; ++i) {
+    CoreId core = total_cores - 1 - i;
+    if (core < num_app_cores) core = num_app_cores % total_cores;  // degenerate small configs
+    if (config_.pipelined_eviction) {
+      eng.Spawn(PipelinedEvictorMain(i, core));
+    } else {
+      eng.Spawn(SequentialEvictorMain(i, core));
+    }
+  }
+  if (config_.feedback_evictors) {
+    eng.Spawn(FeedbackControllerMain());
+  }
+  if (config_.lazy_tlb) {
+    eng.Spawn(LazyTlbTickerMain());
+  }
+}
+
+}  // namespace magesim

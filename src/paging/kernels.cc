@@ -1,0 +1,170 @@
+#include "src/paging/kernels.h"
+
+#include <stdexcept>
+
+namespace magesim {
+
+KernelConfig IdealConfig() {
+  KernelConfig c;
+  c.variant = Variant::kIdeal;
+  c.name = "ideal";
+  c.num_evictors = 0;
+  c.allow_sync_eviction = false;
+  c.prefetch = false;
+  return c;
+}
+
+KernelConfig HermitConfig() {
+  KernelConfig c;
+  c.variant = Variant::kHermit;
+  c.name = "hermit";
+  // Feedback-directed asynchrony with sequential batch eviction and a
+  // synchronous fallback in the fault path (§2.2, §3.2).
+  c.num_evictors = 4;
+  c.feedback_evictors = true;
+  c.pipelined_eviction = false;
+  c.evict_batch_pages = 32;  // Linux reclaim batch (SWAP_CLUSTER_MAX)
+  c.allow_sync_eviction = true;
+  c.sync_evict_batch = 32;
+  // Linux mm: global active/inactive LRU, per-CPU page caches over the buddy
+  // lock, swap-slot allocator behind the swap_info spinlock.
+  c.accounting = AccountingPolicy::kGlobalLru;
+  c.allocator = AllocStrategy::kPcp;
+  c.direct_remote_map = false;
+  c.vma_mode = VmaMode::kLocked;
+  // Calibration: Hermit's uncontended fault handler is ~5.8 us (§6.5) with
+  // 3.9 us of RDMA; the remaining ~1.9 us of software splits into the
+  // modeled locks plus this residual bookkeeping (rmap, cgroup, swap cache).
+  c.fault_entry_ns = 300;
+  c.fault_extra_ns = 500;
+  // Serialized mm bookkeeping region: bounds fault-in-only throughput to
+  // ~20% of the 5.83 M ops/s ideal (Fig. 5).
+  c.mm_locks_cs_ns = 650;
+  // Kernel verbs stack (frontswap/fastswap path).
+  c.rdma_stack_cs_ns = 180;
+  // Linux reclaim: rmap walk + swap-cache + cgroup work per victim page —
+  // this is why Hermit's evictors fall behind and sync eviction kicks in.
+  c.evict_page_cost_ns = 2600;
+  // Hermit's eager fault path triggers direct reclaim well before memory is
+  // exhausted (its feedback loop reacts to falling free pages), putting
+  // shootdown-heavy sync eviction on the critical path under load.
+  c.min_watermark = 0.035;
+  c.virtualized = false;  // Hermit runs bare-metal in the paper's testbed
+  return c;
+}
+
+KernelConfig DilosConfig() {
+  KernelConfig c;
+  c.variant = Variant::kDilos;
+  c.name = "dilos";
+  // Multiple eviction threads (the paper's extended DiLOS) with sequential
+  // batches, IPI-based wait-wake, and a synchronous fallback.
+  c.num_evictors = 4;
+  c.feedback_evictors = false;
+  c.pipelined_eviction = false;
+  c.evict_batch_pages = 64;
+  c.allow_sync_eviction = true;
+  c.sync_evict_batch = 64;
+  c.evictor_wake_cost_ns = 2200;  // IPI wait-wake + context switch
+  // Unikernel: global LRU, single physical-allocator mutex, direct mapping,
+  // flat address space (no VMA locks, no swap layer).
+  c.accounting = AccountingPolicy::kGlobalLru;
+  c.allocator = AllocStrategy::kGlobalMutex;
+  c.direct_remote_map = true;
+  c.vma_mode = VmaMode::kNone;
+  // Calibration: DiLOS's uncontended fault handler is ~4.7 us (§6.5);
+  // ~0.8 us of software on top of the 3.9 us read. The global allocator
+  // mutex (280 ns CS) bounds fault-in-only throughput to ~56% of ideal.
+  c.fault_entry_ns = 350;  // virtualized trap is slightly costlier
+  c.fault_extra_ns = 120;
+  c.evict_page_cost_ns = 220;
+  c.mm_locks_cs_ns = 0;
+  c.rdma_stack_cs_ns = 0;  // microkernel-style driver
+  c.virtualized = true;
+  c.compute_overhead_factor = 1.035;  // EPT / VM overheads (Table 2: ~3-8%)
+  return c;
+}
+
+KernelConfig MageLnxConfig() {
+  KernelConfig c;
+  c.variant = Variant::kMageLnx;
+  c.name = "magelnx";
+  // MAGE principles on Linux (§5.1): 4 dedicated pipelined evictors, no sync
+  // eviction, partitioned FIFO accounting, multilayer allocator, sharded
+  // address-space locks, swap layer skipped entirely.
+  c.num_evictors = 4;
+  c.feedback_evictors = false;
+  c.pipelined_eviction = true;
+  c.evict_batch_pages = 256;
+  c.allow_sync_eviction = false;
+  c.accounting = AccountingPolicy::kPartitionedFifo;
+  c.accounting_partitions = 8;
+  c.allocator = AllocStrategy::kMultilayer;
+  c.direct_remote_map = true;
+  c.vma_mode = VmaMode::kSharded;
+  c.fault_entry_ns = 350;
+  c.fault_extra_ns = 250;  // trimmed but still-Linux fault bookkeeping
+  c.mm_locks_cs_ns = 0;    // rmap bypassed (adopted from Hermit, then sharded)
+  // Linux RDMA stack interference between fault-in and eviction threads
+  // limits MageLnx to ~139 Gbps (§6.4): a ~210 ns serialized post section
+  // bounds 48-thread throughput at ~4.3 M ops/s.
+  c.rdma_stack_cs_ns = 210;
+  c.virtualized = true;
+  c.compute_overhead_factor = 1.045;  // VM + Linux syscall-path overheads
+  // No prefetching support in MageLnx (§6.2).
+  c.prefetch = false;
+  return c;
+}
+
+KernelConfig MageLibConfig() {
+  KernelConfig c;
+  c.variant = Variant::kMageLib;
+  c.name = "magelib";
+  c.num_evictors = 4;
+  c.feedback_evictors = false;
+  c.pipelined_eviction = true;
+  c.evict_batch_pages = 256;
+  c.allow_sync_eviction = false;
+  c.accounting = AccountingPolicy::kPartitionedFifo;
+  c.accounting_partitions = 8;
+  c.allocator = AllocStrategy::kMultilayer;
+  c.direct_remote_map = true;
+  c.vma_mode = VmaMode::kNone;
+  c.fault_entry_ns = 350;
+  c.fault_extra_ns = 80;  // unikernel fault path
+  c.mm_locks_cs_ns = 0;
+  c.rdma_stack_cs_ns = 0;  // low-latency driver adopted from DiLOS (§5.2)
+  c.virtualized = true;
+  // VM overheads plus OSv's less mature userspace libraries (§6.5: 2-8.6%
+  // regression vs. bare-metal Hermit at 100% local memory).
+  c.compute_overhead_factor = 1.05;
+  return c;
+}
+
+KernelConfig FastswapConfig() {
+  KernelConfig c = HermitConfig();
+  c.variant = Variant::kHermit;  // same Linux substrate
+  c.name = "fastswap";
+  // One dedicated reclaim core, no feedback scaling, eager direct reclaim.
+  c.num_evictors = 1;
+  c.feedback_evictors = false;
+  c.min_watermark = 0.045;  // falls back to direct reclaim sooner than Hermit
+  c.prefetch = false;
+  return c;
+}
+
+KernelConfig ConfigByName(const std::string& name) {
+  if (name == "ideal") return IdealConfig();
+  if (name == "hermit") return HermitConfig();
+  if (name == "dilos") return DilosConfig();
+  if (name == "magelnx") return MageLnxConfig();
+  if (name == "magelib") return MageLibConfig();
+  if (name == "fastswap") return FastswapConfig();
+  throw std::invalid_argument("unknown kernel config: " + name);
+}
+
+std::vector<KernelConfig> AllSystemConfigs() {
+  return {MageLibConfig(), MageLnxConfig(), DilosConfig(), HermitConfig()};
+}
+
+}  // namespace magesim

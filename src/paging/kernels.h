@@ -1,0 +1,42 @@
+// Preset KernelConfigs for the five systems compared in the paper, with the
+// calibration rationale for every variant-specific cost (§3.2, §6).
+#ifndef MAGESIM_PAGING_KERNELS_H_
+#define MAGESIM_PAGING_KERNELS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/paging/config.h"
+
+namespace magesim {
+
+// The "ideal" analytical baseline: data movement only (§3.1).
+KernelConfig IdealConfig();
+
+// Hermit (NSDI '23): Linux swap path with feedback-directed async eviction.
+// Runs on bare metal in the paper's testbed.
+KernelConfig HermitConfig();
+
+// DiLOS (EuroSys '23): OSv unikernel, unified page table, direct remote
+// mapping, global physical-allocator mutex. Virtualized.
+KernelConfig DilosConfig();
+
+// MageLnx: Linux-based MAGE (§5.1). Virtualized; kernel RDMA stack.
+KernelConfig MageLnxConfig();
+
+// MageLib: OSv-based MAGE (§5.2). Virtualized; microkernel-style RDMA driver.
+KernelConfig MageLibConfig();
+
+// Fastswap (EuroSys '20, cited as prior work): Linux frontswap backend with
+// reclaim offloaded to one dedicated core and direct-reclaim fallback. The
+// generation before Hermit's feedback-directed asynchrony.
+KernelConfig FastswapConfig();
+
+KernelConfig ConfigByName(const std::string& name);
+
+// All real systems (no ideal), in the paper's presentation order.
+std::vector<KernelConfig> AllSystemConfigs();
+
+}  // namespace magesim
+
+#endif  // MAGESIM_PAGING_KERNELS_H_

@@ -1,0 +1,93 @@
+// MAGE's cross-batch pipelined evictor (§4.1, Fig. 8).
+//
+// Three batches are in flight per evictor:
+//   cur       — freshly scanned/unmapped; its shootdown IPIs just went out.
+//   prev      — shootdown acknowledged; dirty pages posted for RDMA write.
+//   prevprev  — RDMA writes complete; frames reclaimed to the allocator.
+// The evictor never idles waiting for a TLB ACK or RDMA completion while
+// there is pipeline work for another batch: RDMA wait latency hides the
+// other stages' overheads.
+#include <optional>
+
+#include "src/paging/kernel.h"
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
+  Engine& eng = Engine::current();
+  std::optional<EvictionBatch> prev;
+  std::optional<EvictionBatch> prevprev;
+
+  auto pipeline_empty = [&]() { return !prev.has_value() && !prevprev.has_value(); };
+
+  for (;;) {
+    // Pressure accounts for pages already in the eviction pipeline (they
+    // will reach the allocator within two stages).
+    bool pressure = free_pages() + pending_reclaims_ < high_wm_;
+    if (!pressure && pipeline_empty()) {
+      if (eng.shutdown_requested()) co_return;
+      co_await evictor_wake_.Wait();
+      continue;
+    }
+
+    // Stage 1: slice a batch off the accounting lists, unmap, allocate
+    // remote space.
+    EvictionBatch cur;
+    if (pressure) {
+      co_await PrepareVictims(evictor_id, core, static_cast<size_t>(config_.evict_batch_pages),
+                              &cur.victims);
+      pending_reclaims_ += cur.victims.size();
+    }
+
+    // Stage 2: wait for the *previous* batch's TLB ACKs (normally already
+    // complete thanks to the overlap), then kick off this batch's shootdown.
+    // Lazy-TLB mode replaces both with a wait for the reconciliation tick.
+    if (prev.has_value()) {
+      if (config_.lazy_tlb) {
+        co_await lazy_epoch_.Wait();
+      } else {
+        co_await tlb_.Finish(prev->shootdown);
+        prev->shootdown = nullptr;
+      }
+    }
+    if (!cur.victims.empty() && !config_.lazy_tlb) {
+      cur.shootdown = co_await tlb_.Begin(core, static_cast<int>(cur.victims.size()));
+    }
+
+    // Stage 3: wait for the oldest batch's RDMA writes, reclaim its frames,
+    // then post writes for the middle batch.
+    if (prevprev.has_value()) {
+      if (prevprev->write_completion != nullptr) {
+        co_await prevprev->write_completion->Wait();
+      }
+      co_await allocator_->FreeBatch(core, prevprev->victims);
+      pending_reclaims_ -= prevprev->victims.size();
+      stats_.evicted_pages += prevprev->victims.size();
+      ++stats_.eviction_batches;
+      free_pages_available_.Set();
+      prevprev.reset();
+    }
+    if (prev.has_value()) {
+      prev->write_completion = PostWriteback(prev->victims);
+      prevprev = std::move(prev);
+      prev.reset();
+    }
+    if (!cur.victims.empty()) {
+      prev = std::move(cur);
+    } else if (pressure && pipeline_empty()) {
+      if (eng.shutdown_requested()) co_return;
+      if (FaultersWaitingForPages()) {
+        // Nothing isolatable *right now* (reference bits still decaying) but
+        // faulting threads are blocked on us: retry shortly instead of
+        // parking — the blocked threads cannot generate another wakeup.
+        co_await Delay{2 * kMicrosecond};
+      } else {
+        // No urgency: park until the fault path signals pressure again.
+        co_await evictor_wake_.Wait();
+      }
+    }
+  }
+}
+
+}  // namespace magesim

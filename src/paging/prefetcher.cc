@@ -1,0 +1,111 @@
+#include "src/paging/prefetcher.h"
+
+#include <algorithm>
+
+#include "src/paging/kernel.h"
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+Prefetcher::Prefetcher(Kernel& kernel, int max_window)
+    : kernel_(kernel), max_window_(max_window) {
+  history_.resize(static_cast<size_t>(kernel.topology().num_cores()));
+}
+
+Prefetcher::Stream* Prefetcher::MatchStream(CoreHistory& h, uint64_t vpn, bool* is_expected) {
+  *is_expected = false;
+  // 1. A stream whose readahead window just ran out (exact continuation).
+  for (Stream& s : h.streams) {
+    if (s.active && vpn == s.expected_next) {
+      *is_expected = true;
+      return &s;
+    }
+  }
+  // 2. The nearest stream within the proximity radius (interleaved streams
+  //    live in disjoint address regions, e.g. dataframe columns).
+  Stream* best = nullptr;
+  uint64_t best_dist = kProximityPages + 1;
+  for (Stream& s : h.streams) {
+    if (s.last_vpn == ~0ULL) continue;
+    uint64_t dist = vpn > s.last_vpn ? vpn - s.last_vpn : s.last_vpn - vpn;
+    if (dist <= kProximityPages && dist < best_dist) {
+      best_dist = dist;
+      best = &s;
+    }
+  }
+  if (best != nullptr) return best;
+  // 3. Recycle the LRU slot for a new stream.
+  Stream* lru = &h.streams[0];
+  for (Stream& s : h.streams) {
+    if (s.last_use < lru->last_use) lru = &s;
+  }
+  *lru = Stream{};
+  return lru;
+}
+
+void Prefetcher::OnFault(CoreId core, uint64_t vpn) {
+  CoreHistory& h = history_[static_cast<size_t>(core)];
+  bool is_expected = false;
+  Stream& s = *MatchStream(h, vpn, &is_expected);
+  s.last_use = ++h.use_counter;
+
+  // Stream continuation: prefetched pages do not fault, so a tracked stream's
+  // next major fault lands exactly one stride past the covered window. Grow
+  // the window (Leap-style) and read further ahead.
+  if (is_expected) {
+    s.window = std::min(s.window * 2, max_window_);
+    Engine::current().Spawn(
+        PrefetchRange(core, vpn + static_cast<uint64_t>(s.stride), s.stride, s.window));
+    s.expected_next =
+        vpn + static_cast<uint64_t>(s.stride) * static_cast<uint64_t>(s.window + 1);
+    s.last_vpn = vpn;
+    return;
+  }
+
+  // Raw stride detection over this stream's consecutive fault addresses.
+  if (s.last_vpn != ~0ULL) {
+    int64_t stride = static_cast<int64_t>(vpn) - static_cast<int64_t>(s.last_vpn);
+    if (stride != 0 && stride == s.stride) {
+      ++s.streak;
+    } else {
+      s.streak = 0;
+      s.stride = stride;
+      s.active = false;
+      s.window = 2;  // pattern broke: collapse read-ahead
+    }
+  }
+  s.last_vpn = vpn;
+  if (s.streak >= 2 && s.stride != 0) {
+    s.active = true;
+    Engine::current().Spawn(
+        PrefetchRange(core, vpn + static_cast<uint64_t>(s.stride), s.stride, s.window));
+    s.expected_next =
+        vpn + static_cast<uint64_t>(s.stride) * static_cast<uint64_t>(s.window + 1);
+  }
+}
+
+Task<> Prefetcher::PrefetchRange(CoreId core, uint64_t start_vpn, int64_t stride, int count) {
+  Kernel& k = kernel_;
+  uint64_t vpn = start_vpn;
+  for (int i = 0; i < count; ++i, vpn = static_cast<uint64_t>(static_cast<int64_t>(vpn) + stride)) {
+    if (vpn >= k.wss_pages()) co_return;
+    Pte& pte = k.page_table().At(vpn);
+    if (pte.present || !k.page_table().TryBeginFault(vpn)) continue;
+    ++issued_;
+    // Prefetch shares the fault path's allocation policy: under Hermit-style
+    // configs it can therefore trigger synchronous eviction, which is exactly
+    // how prefetching backfires for those systems (§6.2).
+    PageFrame* frame = co_await k.AllocWithPressure(core, vpn);
+    co_await k.nic().Read(kPageSize);
+    co_await Delay{k.topology().params().pte_update_ns};
+    k.page_table().Map(vpn, frame);
+    // Speculative: not a real reference yet.
+    k.page_table().At(vpn).accessed = false;
+    k.prefetched_[vpn] = true;
+    ++k.mutable_stats().prefetched_pages;
+    co_await k.accounting().Insert(core, frame);
+    k.page_table().EndFault(vpn);
+  }
+}
+
+}  // namespace magesim

@@ -1,0 +1,64 @@
+// Pattern-matching prefetcher (§6.2 "they record past fault-in virtual
+// addresses to detect sequential access patterns"): per-core stride detection
+// on major-fault addresses with Leap-style adaptive read-ahead — the window
+// doubles while the stride holds (up to `max_window`) and collapses when the
+// pattern breaks, bounding wasted fetches on irregular phases.
+#ifndef MAGESIM_PAGING_PREFETCHER_H_
+#define MAGESIM_PAGING_PREFETCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/topology.h"
+#include "src/sim/task.h"
+
+namespace magesim {
+
+class Kernel;
+
+class Prefetcher {
+ public:
+  // `max_window` bounds the adaptive read-ahead depth.
+  Prefetcher(Kernel& kernel, int max_window);
+
+  // Called by the fault path after servicing a major fault on `core`.
+  // May spawn an asynchronous prefetch task.
+  void OnFault(CoreId core, uint64_t vpn);
+
+  uint64_t issued() const { return issued_; }
+
+ private:
+  // One tracked access stream. A core tracks several concurrently (columnar
+  // scans interleave multiple sequential streams per thread).
+  struct Stream {
+    uint64_t last_vpn = ~0ULL;
+    int64_t stride = 0;
+    int streak = 0;
+    bool active = false;             // readahead engaged
+    uint64_t expected_next = ~0ULL;  // first fault address past the covered window
+    int window = 2;                  // adaptive depth, 2..max_window_
+    uint64_t last_use = 0;           // LRU stamp for slot replacement
+  };
+  static constexpr int kStreamsPerCore = 6;
+  static constexpr uint64_t kProximityPages = 256;  // stream-match radius
+
+  struct CoreHistory {
+    Stream streams[kStreamsPerCore];
+    uint64_t use_counter = 0;
+  };
+
+  // Finds the stream owning `vpn` (expected-next hit or proximity match) or
+  // recycles the least-recently-used slot.
+  Stream* MatchStream(CoreHistory& h, uint64_t vpn, bool* is_expected);
+
+  Task<> PrefetchRange(CoreId core, uint64_t start_vpn, int64_t stride, int count);
+
+  Kernel& kernel_;
+  int max_window_;
+  std::vector<CoreHistory> history_;
+  uint64_t issued_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_PAGING_PREFETCHER_H_

@@ -1,0 +1,52 @@
+#include "src/sim/engine.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace magesim {
+
+Engine* Engine::current_ = nullptr;
+
+Engine::Engine() {
+  if (current_ != nullptr) {
+    std::fprintf(stderr, "magesim: only one Engine may exist at a time\n");
+    std::abort();
+  }
+  current_ = this;
+}
+
+Engine::~Engine() { current_ = nullptr; }
+
+Engine& Engine::current() {
+  assert(current_ != nullptr && "no Engine is active");
+  return *current_;
+}
+
+void Engine::ScheduleAt(SimTime t, std::coroutine_handle<> h) {
+  assert(h);
+  if (t < now_) {
+    t = now_;  // Never schedule into the past.
+  }
+  queue_.push(Event{t, seq_++, h});
+}
+
+void Engine::Spawn(Task<> task) {
+  ScheduleAt(now_, task.Detach());
+}
+
+uint64_t Engine::Run() {
+  uint64_t processed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++processed;
+    ev.h.resume();
+  }
+  events_processed_ += processed;
+  return processed;
+}
+
+}  // namespace magesim

@@ -1,0 +1,96 @@
+// The discrete-event simulation engine.
+//
+// A single Engine instance drives one simulated machine. All simulated
+// activities are Task<> coroutines; they advance simulated time by suspending
+// on awaitables (Delay, SimMutex::Lock, ...) that re-schedule them through the
+// engine's time-ordered event queue. The engine is strictly single-threaded
+// and deterministic: events with equal timestamps run in scheduling order.
+#ifndef MAGESIM_SIM_ENGINE_H_
+#define MAGESIM_SIM_ENGINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace magesim {
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // The engine currently driving this thread's simulation. Exactly one Engine
+  // may exist at a time; sync primitives use this to avoid threading an engine
+  // reference through every call site.
+  static Engine& current();
+
+  SimTime now() const { return now_; }
+
+  void ScheduleAt(SimTime t, std::coroutine_handle<> h);
+  void ScheduleAfter(SimTime dt, std::coroutine_handle<> h) { ScheduleAt(now_ + dt, h); }
+
+  // Detaches `task` and schedules its first step at the current time.
+  void Spawn(Task<> task);
+
+  // Runs events until the queue is empty. Returns the number of events
+  // processed. Long-running tasks should poll shutdown_requested() so that a
+  // RequestShutdown() lets the queue drain naturally.
+  uint64_t Run();
+
+  // Asks cooperative loops (application threads, evictors, load generators)
+  // to wind down. Does not cancel anything by itself.
+  void RequestShutdown() { shutdown_ = true; }
+  bool shutdown_requested() const { return shutdown_; }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t events_processed_ = 0;
+  bool shutdown_ = false;
+
+  static Engine* current_;
+};
+
+// Awaitable: suspends the current task for `d` nanoseconds of simulated time.
+// A non-positive delay never suspends.
+struct Delay {
+  SimTime d;
+  bool await_ready() const noexcept { return d <= 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Engine::current().ScheduleAfter(d, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+// Awaitable: re-enqueues the current task at the current time, letting other
+// same-timestamp events run first (a cooperative yield).
+struct YieldNow {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Engine::current().ScheduleAfter(0, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_SIM_ENGINE_H_

@@ -1,0 +1,105 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace magesim {
+
+int Histogram::BucketFor(int64_t value, int* sub) {
+  if (value < 0) value = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    *sub = static_cast<int>(v);
+    return 0;
+  }
+  int bucket = 63 - std::countl_zero(v);  // floor(log2(v)), >= 4
+  int shift = bucket - 4;                 // map remaining bits into 16 sub-buckets
+  *sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+  return bucket - 3;  // bucket 1 starts at value 16
+}
+
+int64_t Histogram::BucketUpperBound(int bucket, int sub) {
+  if (bucket == 0) return sub;
+  int log2 = bucket + 3;
+  int shift = log2 - 4;
+  uint64_t base = 1ULL << log2;
+  return static_cast<int64_t>(base + (static_cast<uint64_t>(sub + 1) << shift) - 1);
+}
+
+void Histogram::Record(int64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(int64_t value, uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += n;
+  sum_ += value * static_cast<int64_t>(n);
+  int sub = 0;
+  int bucket = BucketFor(value, &sub);
+  buckets_[bucket][sub] += n;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  if (target >= count_) target = count_ - 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (int s = 0; s < kSubBuckets; ++s) {
+      seen += buckets_[b][s];
+      if (seen > target) {
+        return std::min<int64_t>(BucketUpperBound(static_cast<int>(b), s), max_);
+      }
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (int s = 0; s < kSubBuckets; ++s) {
+      buckets_[b][s] += other.buckets_[b][s];
+    }
+  }
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus",
+                static_cast<unsigned long long>(count_), mean() / 1000.0,
+                Percentile(50) / 1000.0, Percentile(99) / 1000.0,
+                static_cast<double>(max_) / 1000.0);
+  return buf;
+}
+
+double Breakdown::MeanPer(const std::string& category, uint64_t per_count) const {
+  auto it = entries_.find(category);
+  if (it == entries_.end() || per_count == 0) return 0.0;
+  return static_cast<double>(it->second.total_ns) / static_cast<double>(per_count);
+}
+
+void TimeSeries::Add(SimTime t, double value) {
+  assert(t >= 0);
+  size_t idx = static_cast<size_t>(t / bucket_width_);
+  if (idx >= buckets_.size()) {
+    buckets_.resize(idx + 1, 0.0);
+  }
+  buckets_[idx] += value;
+}
+
+double TimeSeries::RatePerSec(size_t i) const {
+  if (i >= buckets_.size()) return 0.0;
+  return buckets_[i] / NsToSec(bucket_width_);
+}
+
+}  // namespace magesim

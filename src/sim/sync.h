@@ -1,0 +1,367 @@
+// Simulated synchronization primitives.
+//
+// All primitives use strict FIFO wait queues, which reproduces the queueing
+// behavior of contended kernel locks (ticket spinlocks, qspinlocks, mutex wait
+// lists). Every lock records acquisition counts and cumulative/max wait time so
+// experiments can report contention directly.
+#ifndef MAGESIM_SIM_SYNC_H_
+#define MAGESIM_SIM_SYNC_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace magesim {
+
+struct LockStats {
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  SimTime total_wait_ns = 0;
+  SimTime max_wait_ns = 0;
+
+  double mean_wait_ns() const {
+    return acquisitions == 0 ? 0.0 : static_cast<double>(total_wait_ns) / acquisitions;
+  }
+};
+
+// A FIFO mutex. `co_await m.Lock()` acquires; Unlock() hands the lock directly
+// to the next waiter (lock handoff), scheduled at the current time.
+class SimMutex {
+ public:
+  explicit SimMutex(std::string name = "") : name_(std::move(name)) {}
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  struct LockAwaiter {
+    SimMutex& m;
+    SimTime enqueue_time = 0;
+    bool await_ready() {
+      if (!m.locked_) {
+        m.locked_ = true;
+        ++m.stats_.acquisitions;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      enqueue_time = Engine::current().now();
+      m.waiters_.push_back(Waiter{h, enqueue_time});
+      ++m.stats_.contended;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  LockAwaiter Lock() { return LockAwaiter{*this}; }
+
+  void Unlock() {
+    assert(locked_);
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    Waiter w = waiters_.front();
+    waiters_.pop_front();
+    SimTime waited = Engine::current().now() - w.enqueue_time;
+    stats_.total_wait_ns += waited;
+    if (waited > stats_.max_wait_ns) stats_.max_wait_ns = waited;
+    ++stats_.acquisitions;
+    Engine::current().ScheduleAfter(0, w.h);  // Lock ownership transfers.
+  }
+
+  bool TryLock() {
+    if (locked_) return false;
+    locked_ = true;
+    ++stats_.acquisitions;
+    return true;
+  }
+
+  // RAII guard usable across co_await points (its destructor runs when the
+  // coroutine frame unwinds).
+  class Guard {
+   public:
+    explicit Guard(SimMutex* m) : m_(m) {}
+    Guard(Guard&& o) noexcept : m_(o.m_) { o.m_ = nullptr; }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard() {
+      if (m_) m_->Unlock();
+    }
+
+   private:
+    SimMutex* m_;
+  };
+
+  struct ScopedAwaiter {
+    LockAwaiter inner;
+    bool await_ready() { return inner.await_ready(); }
+    void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+    Guard await_resume() { return Guard(&inner.m); }
+  };
+
+  // `auto g = co_await m.Scoped();`
+  ScopedAwaiter Scoped() { return ScopedAwaiter{LockAwaiter{*this}}; }
+
+  bool locked() const { return locked_; }
+  const LockStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LockStats{}; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    SimTime enqueue_time;
+  };
+
+  std::string name_;
+  bool locked_ = false;
+  std::deque<Waiter> waiters_;
+  LockStats stats_;
+};
+
+// In a discrete-event model a spinlock and a FIFO mutex behave identically
+// (waiters queue and acquire in order); the distinction we preserve is
+// statistical: spin-wait time is CPU burned, which callers may account.
+using SimSpinLock = SimMutex;
+
+// Manual-reset event: Set() releases all current and future waiters until
+// Reset() is called.
+class SimEvent {
+ public:
+  struct Awaiter {
+    SimEvent& e;
+    bool await_ready() const { return e.set_; }
+    void await_suspend(std::coroutine_handle<> h) { e.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter Wait() { return Awaiter{*this}; }
+
+  void Set() {
+    set_ = true;
+    ReleaseAll();
+  }
+
+  void Reset() { set_ = false; }
+  bool is_set() const { return set_; }
+
+  // Wakes current waiters without latching the event.
+  void Pulse() { ReleaseAll(); }
+
+  size_t num_waiters() const { return waiters_.size(); }
+
+  // Direct enqueue for composite primitives (SimBarrier).
+  void waiters_push(std::coroutine_handle<> h) { waiters_.push_back(h); }
+
+ private:
+  void ReleaseAll() {
+    for (auto h : waiters_) {
+      Engine::current().ScheduleAfter(0, h);
+    }
+    waiters_.clear();
+  }
+
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Latch that releases waiters when its count reaches zero.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(int count) : count_(count) {
+    if (count_ <= 0) event_.Set();
+  }
+
+  void CountDown() {
+    assert(count_ > 0);
+    if (--count_ == 0) event_.Set();
+  }
+
+  SimEvent::Awaiter Wait() { return event_.Wait(); }
+  int count() const { return count_; }
+
+ private:
+  int count_;
+  SimEvent event_;
+};
+
+// Counting semaphore with FIFO waiters.
+class SimSemaphore {
+ public:
+  explicit SimSemaphore(int64_t initial) : count_(initial) {}
+
+  struct Awaiter {
+    SimSemaphore& s;
+    bool await_ready() {
+      if (s.count_ > 0) {
+        --s.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter Acquire() { return Awaiter{*this}; }
+
+  bool TryAcquire() {
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void Release(int64_t n = 1) {
+    while (n > 0 && !waiters_.empty()) {
+      Engine::current().ScheduleAfter(0, waiters_.front());
+      waiters_.pop_front();
+      --n;
+    }
+    count_ += n;
+  }
+
+  int64_t count() const { return count_; }
+
+ private:
+  int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Tracks a set of spawned tasks; `co_await wg.Wait()` resumes when all
+// Done() calls arrive. Reusable after the count hits zero (Add again).
+class WaitGroup {
+ public:
+  void Add(int n = 1) {
+    count_ += n;
+    if (count_ > 0) event_.Reset();
+  }
+  void Done() {
+    assert(count_ > 0);
+    if (--count_ == 0) event_.Set();
+  }
+  SimEvent::Awaiter Wait() { return event_.Wait(); }
+  int count() const { return count_; }
+
+ private:
+  int count_ = 0;
+  SimEvent event_{};
+};
+
+// Reusable rendezvous barrier for `n` participants.
+class SimBarrier {
+ public:
+  explicit SimBarrier(int n) : n_(n) {}
+
+  struct Awaiter {
+    SimBarrier& b;
+    bool await_ready() {
+      if (++b.arrived_ == b.n_) {
+        b.arrived_ = 0;
+        b.event_.Pulse();  // releases the n-1 waiting participants
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { b.event_.waiters_push(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter Arrive() { return Awaiter{*this}; }
+  int waiting() const { return arrived_; }
+
+ private:
+  friend struct Awaiter;
+  int n_;
+  int arrived_ = 0;
+  SimEvent event_;
+};
+
+// Bounded FIFO channel. Push suspends when full, Pop suspends when empty.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(size_t capacity) : capacity_(capacity) {}
+
+  Task<> Push(T value) {
+    while (items_.size() >= capacity_) {
+      PushWaiterAwaiter a{this};
+      co_await a;
+    }
+    items_.push_back(std::move(value));
+    WakeOnePopper();
+  }
+
+  bool TryPush(T value) {
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    WakeOnePopper();
+    return true;
+  }
+
+  Task<T> Pop() {
+    while (items_.empty()) {
+      PopWaiterAwaiter a{this};
+      co_await a;
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    WakeOnePusher();
+    co_return v;
+  }
+
+  bool TryPop(T* out) {
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    WakeOnePusher();
+    return true;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  struct PushWaiterAwaiter {
+    Channel* c;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) { c->push_waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  struct PopWaiterAwaiter {
+    Channel* c;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) { c->pop_waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  void WakeOnePopper() {
+    if (!pop_waiters_.empty()) {
+      Engine::current().ScheduleAfter(0, pop_waiters_.front());
+      pop_waiters_.pop_front();
+    }
+  }
+  void WakeOnePusher() {
+    if (!push_waiters_.empty()) {
+      Engine::current().ScheduleAfter(0, push_waiters_.front());
+      push_waiters_.pop_front();
+    }
+  }
+
+  size_t capacity_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> push_waiters_;
+  std::deque<std::coroutine_handle<>> pop_waiters_;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_SIM_SYNC_H_

@@ -1,0 +1,28 @@
+// Simulated-time definitions. All simulation time is in integer nanoseconds.
+#ifndef MAGESIM_SIM_TIME_H_
+#define MAGESIM_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace magesim {
+
+// Simulated time / durations, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+// Convenience literal-style helpers: UsToNs(3.9) == 3900.
+constexpr SimTime UsToNs(double us) { return static_cast<SimTime>(us * 1000.0); }
+constexpr SimTime MsToNs(double ms) { return static_cast<SimTime>(ms * 1e6); }
+constexpr SimTime SecToNs(double s) { return static_cast<SimTime>(s * 1e9); }
+constexpr double NsToUs(SimTime ns) { return static_cast<double>(ns) / 1000.0; }
+constexpr double NsToSec(SimTime ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace magesim
+
+#endif  // MAGESIM_SIM_TIME_H_

@@ -1,0 +1,54 @@
+// Dataframe-style analytics (§6.2 motivates the regular access pattern with
+// the hosseinmoein/DataFrame library): a columnar table with filter-scan and
+// group-by-aggregate queries. Column scans are sequential (prefetchable);
+// the group-by output region is hash-scattered. One op = one query.
+#ifndef MAGESIM_WORKLOADS_DATAFRAME_H_
+#define MAGESIM_WORKLOADS_DATAFRAME_H_
+
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace magesim {
+
+class DataframeWorkload : public Workload {
+ public:
+  struct Options {
+    uint64_t num_rows = 8 * 1024 * 1024;  // 4 columns x 8 B
+    int num_columns = 4;
+    int threads = 24;
+    int queries_per_thread = 4;
+    uint64_t groups = 1 << 14;  // group-by cardinality
+    uint64_t seed = 31;
+    SimTime compute_per_row_page_ns = 3000;  // vectorized predicate + sum
+  };
+
+  explicit DataframeWorkload(Options opt);
+
+  std::string name() const override { return "dataframe"; }
+  uint64_t wss_pages() const override { return wss_pages_; }
+  int num_threads() const override { return opt_.threads; }
+  std::string ops_unit() const override { return "queries"; }
+
+  Task<> ThreadBody(AppThread& t, int tid) override;
+
+  // Query results (real computation, placement-independent).
+  uint64_t result_hash() const { return result_hash_; }
+  uint64_t rows_matched() const { return rows_matched_; }
+
+ private:
+  uint64_t ColumnVpn(int col, uint64_t row) const;
+  uint64_t GroupVpn(uint64_t group) const;
+
+  Options opt_;
+  uint64_t rows_per_page_;
+  uint64_t column_pages_;
+  uint64_t group_base_;
+  uint64_t wss_pages_;
+  uint64_t result_hash_ = 0;
+  uint64_t rows_matched_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_WORKLOADS_DATAFRAME_H_

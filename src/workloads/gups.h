@@ -1,0 +1,51 @@
+// GUPS (HPCC RandomAccess derivative, §6.2 "varying working sets"): Zipf-
+// distributed random updates over region A (80% of the WSS), shifting to
+// region B (the remaining 20%) at a configured phase-change time (Fig. 11).
+#ifndef MAGESIM_WORKLOADS_GUPS_H_
+#define MAGESIM_WORKLOADS_GUPS_H_
+
+#include <memory>
+
+#include "src/workloads/workload.h"
+
+namespace magesim {
+
+class GupsWorkload : public Workload {
+ public:
+  struct Options {
+    uint64_t total_pages = 128 * 1024;  // 512 MB default (paper: 32 GB)
+    int threads = 48;
+    double zipf_theta = 0.99;
+    SimTime phase_change_at = 2 * kSecond;  // paper: 10 s
+    SimTime run_for = 4 * kSecond;
+    SimTime compute_per_update_ns = 900;
+    // Sweep region A once at start so region B is fully displaced before the
+    // phase change (the state a long phase-1 converges to).
+    bool prewarm_region_a = true;
+    SimTime timeline_bucket = 20 * kMillisecond;
+  };
+
+  explicit GupsWorkload(Options opt);
+
+  std::string name() const override { return "gups"; }
+  uint64_t wss_pages() const override { return opt_.total_pages; }
+  int num_threads() const override { return opt_.threads; }
+  std::string ops_unit() const override { return "updates"; }
+
+  Task<> ThreadBody(AppThread& t, int tid) override;
+
+  // Completed updates per 100 ms bucket (the Fig. 11 timeline).
+  const TimeSeries& timeline() const { return timeline_; }
+
+ private:
+  Options opt_;
+  uint64_t region_a_pages_;
+  uint64_t region_b_pages_;
+  std::unique_ptr<ZipfGenerator> zipf_a_;
+  std::unique_ptr<ZipfGenerator> zipf_b_;
+  TimeSeries timeline_;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_WORKLOADS_GUPS_H_

@@ -1,0 +1,57 @@
+#include "src/workloads/kronecker.h"
+
+#include <algorithm>
+
+namespace magesim {
+
+CsrGraph GenerateKronecker(int scale, int edge_factor, uint64_t seed) {
+  const uint64_t n = 1ULL << scale;
+  const uint64_t m = n * static_cast<uint64_t>(edge_factor);
+  Rng rng(seed);
+
+  // R-MAT recursive quadrant descent with Graph500 probabilities.
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    uint64_t src = 0, dst = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      double r = rng.NextDouble();
+      if (r < kA) {
+        // top-left: nothing set
+      } else if (r < kA + kB) {
+        dst |= 1ULL << bit;
+      } else if (r < kA + kB + kC) {
+        src |= 1ULL << bit;
+      } else {
+        src |= 1ULL << bit;
+        dst |= 1ULL << bit;
+      }
+    }
+    // Permute vertex labels so degree correlates with nothing spatial; this
+    // is what makes the neighbor reads a *random* far-memory pattern.
+    src = ScrambleIndex(src, n);
+    dst = ScrambleIndex(dst, n);
+    edges.emplace_back(static_cast<uint32_t>(src), static_cast<uint32_t>(dst));
+  }
+
+  // Build CSR (counting sort by source).
+  CsrGraph g;
+  g.num_vertices = n;
+  g.num_edges = edges.size();
+  g.offsets.assign(n + 1, 0);
+  for (const auto& [s, d] : edges) {
+    ++g.offsets[s + 1];
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    g.offsets[v + 1] += g.offsets[v];
+  }
+  g.neighbors.resize(g.num_edges);
+  std::vector<uint64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const auto& [s, d] : edges) {
+    g.neighbors[cursor[s]++] = d;
+  }
+  return g;
+}
+
+}  // namespace magesim

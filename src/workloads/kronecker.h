@@ -1,0 +1,30 @@
+// Kronecker (R-MAT) graph generator in CSR form — the GapBS input (§6.1,
+// Graph500 parameters a/b/c = 0.57/0.19/0.19).
+#ifndef MAGESIM_WORKLOADS_KRONECKER_H_
+#define MAGESIM_WORKLOADS_KRONECKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace magesim {
+
+struct CsrGraph {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;          // directed edge count after dedup
+  std::vector<uint64_t> offsets;   // size num_vertices + 1
+  std::vector<uint32_t> neighbors; // size num_edges
+
+  uint64_t OutDegree(uint64_t v) const { return offsets[v + 1] - offsets[v]; }
+};
+
+// Generates a Kronecker graph with 2^scale vertices and ~edge_factor edges
+// per vertex. Deterministic per seed. Self-loops kept (GapBS does not remove
+// them for PageRank), duplicate edges kept (they weight the walk, as in the
+// generator's raw output).
+CsrGraph GenerateKronecker(int scale, int edge_factor, uint64_t seed);
+
+}  // namespace magesim
+
+#endif  // MAGESIM_WORKLOADS_KRONECKER_H_

@@ -1,0 +1,47 @@
+#include "src/workloads/metis.h"
+
+namespace magesim {
+
+Task<> MetisWorkload::ThreadBody(AppThread& t, int tid) {
+  Engine& eng = Engine::current();
+  uint64_t in_shard = opt_.input_pages / static_cast<uint64_t>(opt_.threads);
+  uint64_t in_begin = in_shard * static_cast<uint64_t>(tid);
+  uint64_t in_end = (tid == opt_.threads - 1) ? opt_.input_pages : in_begin + in_shard;
+  uint64_t inter_base = opt_.input_pages;
+
+  // --- Map phase: stream input, emit hash-scattered intermediate updates ---
+  for (uint64_t p = in_begin; p < in_end && !eng.shutdown_requested(); ++p) {
+    co_await t.AccessPage(p, /*write=*/false);
+    t.Compute(opt_.compute_per_input_page_ns);
+    for (int e = 0; e < opt_.emits_per_input_page; ++e) {
+      uint64_t key = ScrambleIndex(p * 131 + static_cast<uint64_t>(e), opt_.intermediate_pages);
+      co_await t.AccessPage(inter_base + key, /*write=*/true);
+      counts_[(p * 131 + static_cast<uint64_t>(e)) & 0xffff] += 1;
+      t.Compute(opt_.compute_per_intermediate_op_ns);
+    }
+    ++t.ops;
+  }
+  co_await t.Sync();
+  co_await barrier_.Arrive();
+  if (tid == 0) map_done_at_ = eng.now();
+  co_await barrier_.Arrive();
+
+  // --- Reduce phase: stream the intermediate region (new working set) ---
+  uint64_t red_shard = opt_.intermediate_pages / static_cast<uint64_t>(opt_.threads);
+  uint64_t red_begin = red_shard * static_cast<uint64_t>(tid);
+  uint64_t red_end =
+      (tid == opt_.threads - 1) ? opt_.intermediate_pages : red_begin + red_shard;
+  uint64_t local_sum = 0;
+  for (uint64_t p = red_begin; p < red_end && !eng.shutdown_requested(); ++p) {
+    co_await t.AccessPage(inter_base + p, /*write=*/false);
+    t.Compute(opt_.compute_per_reduce_page_ns);
+    local_sum += p * 2654435761ULL;
+    ++t.ops;
+  }
+  co_await t.Sync();
+  result_ += local_sum;
+  co_await barrier_.Arrive();
+  if (tid == 0) reduce_done_at_ = eng.now();
+}
+
+}  // namespace magesim

@@ -1,0 +1,53 @@
+#include "src/workloads/seqscan.h"
+
+namespace magesim {
+
+Task<> SeqScanWorkload::ThreadBody(AppThread& t, int tid) {
+  Engine& eng = Engine::current();
+  uint64_t shard = opt_.region_pages / static_cast<uint64_t>(opt_.threads);
+  uint64_t begin = shard * static_cast<uint64_t>(tid);
+  uint64_t end = (tid == opt_.threads - 1) ? opt_.region_pages : begin + shard;
+  uint64_t sum = 0;
+  for (int pass = 0; pass < opt_.passes; ++pass) {
+    for (uint64_t vpn = begin; vpn < end; ++vpn) {
+      if (eng.shutdown_requested()) co_return;
+      co_await t.AccessPage(vpn, opt_.write);
+      // The checksum itself: deterministic page-content stand-in.
+      sum += vpn * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(pass);
+      t.Compute(opt_.compute_per_page_ns);
+      ++t.ops;
+    }
+  }
+  co_await t.Sync();
+  checksum_ ^= sum;
+}
+
+Task<> FaultOnlySeqRead::ThreadBody(AppThread& t, int tid) {
+  Engine& eng = Engine::current();
+  uint64_t begin = opt_.pages_per_thread * static_cast<uint64_t>(tid);
+  uint64_t end = begin + opt_.pages_per_thread;
+  uint64_t dist = static_cast<uint64_t>(opt_.reclaim_distance);
+  // Pre-evict the whole shard (the paper's madvise_pageout setup step) so
+  // every access below is a major fault.
+  for (uint64_t vpn = begin; vpn < end; ++vpn) {
+    t.kernel().InstantReclaim(vpn);
+  }
+  for (uint64_t vpn = begin; vpn < end; ++vpn) {
+    if (eng.shutdown_requested()) break;
+    co_await t.AccessPage(vpn, /*write=*/false);
+    if (opt_.compute_per_page_ns > 0) t.Compute(opt_.compute_per_page_ns);
+    ++t.ops;
+    // Emulate madvise_pageout far behind the cursor: zero-cost reclaim keeps
+    // every access a major fault without engaging the eviction path.
+    if (vpn >= begin + dist) {
+      t.kernel().InstantReclaim(vpn - dist);
+    }
+  }
+  // Leave no resident pages behind so repeated runs are independent.
+  for (uint64_t vpn = end > dist ? end - dist : 0; vpn < end; ++vpn) {
+    t.kernel().InstantReclaim(vpn);
+  }
+  co_await t.Sync();
+}
+
+}  // namespace magesim

@@ -1,0 +1,82 @@
+// Trace-driven workloads: record and replay page-access traces.
+//
+// Research on far-memory systems frequently evaluates against production
+// traces that cannot be shipped; this module provides the standard
+// substitute: a compact binary trace format, synthetic trace generators that
+// mimic well-known production patterns (scan / zipf / scan+point mixtures /
+// phase shifts), and a multi-threaded replayer that drives the paging kernel
+// from a trace.
+//
+// Trace record: one per page touch, per thread stream.
+#ifndef MAGESIM_WORKLOADS_TRACE_H_
+#define MAGESIM_WORKLOADS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace magesim {
+
+struct TraceRecord {
+  uint64_t vpn;          // page touched
+  uint32_t compute_ns;   // compute time preceding the touch
+  bool write;
+};
+
+// One access stream per replay thread.
+struct Trace {
+  uint64_t wss_pages = 0;
+  std::vector<std::vector<TraceRecord>> streams;
+
+  int num_threads() const { return static_cast<int>(streams.size()); }
+  uint64_t total_accesses() const;
+
+  // Compact binary serialization (little-endian, versioned header).
+  bool SaveTo(const std::string& path) const;
+  static bool LoadFrom(const std::string& path, Trace* out);
+};
+
+// --- Synthetic generators (all deterministic per seed) ---
+
+struct TraceGenOptions {
+  uint64_t wss_pages = 32 * 1024;
+  int threads = 16;
+  uint64_t accesses_per_thread = 20000;
+  uint32_t compute_ns = 500;
+  double write_fraction = 0.1;
+  uint64_t seed = 1;
+};
+
+// Pure sequential scan, each thread over its shard.
+Trace GenerateScanTrace(const TraceGenOptions& opt);
+
+// Zipf-distributed point accesses over the whole WSS.
+Trace GenerateZipfTrace(const TraceGenOptions& opt, double theta);
+
+// Production-style mixture: zipf point lookups with periodic shard scans
+// (analytics queries over a cached table).
+Trace GenerateMixedTrace(const TraceGenOptions& opt, double theta, double scan_fraction);
+
+// Replays a trace against the paging kernel.
+class TraceReplayWorkload : public Workload {
+ public:
+  explicit TraceReplayWorkload(Trace trace) : trace_(std::move(trace)) {}
+
+  std::string name() const override { return "trace-replay"; }
+  uint64_t wss_pages() const override { return trace_.wss_pages; }
+  int num_threads() const override { return trace_.num_threads(); }
+  std::string ops_unit() const override { return "accesses"; }
+
+  Task<> ThreadBody(AppThread& t, int tid) override;
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_WORKLOADS_TRACE_H_

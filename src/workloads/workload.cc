@@ -1,0 +1,9 @@
+#include "src/workloads/workload.h"
+
+// Interface definitions are header-only; this TU anchors the library.
+
+namespace magesim {
+namespace {
+[[maybe_unused]] const int kWorkloadAnchor = 0;
+}  // namespace
+}  // namespace magesim

@@ -1,0 +1,134 @@
+// Application-side interface to the paging kernel.
+//
+// Workloads are real algorithms operating on a simulated address space at
+// page granularity: an AppThread accumulates compute time locally (no engine
+// events on the fast path) and only suspends on page faults or when its
+// accumulated time exceeds a quantum, which keeps multi-million-access
+// workloads cheap to simulate while preserving fault timing.
+#ifndef MAGESIM_WORKLOADS_WORKLOAD_H_
+#define MAGESIM_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/paging/kernel.h"
+#include "src/sim/random.h"
+
+namespace magesim {
+
+// Compute-time accumulation quantum: an app thread syncs with the engine at
+// least this often even without faulting, so eviction scanning observes
+// reasonably fresh accessed bits.
+inline constexpr SimTime kAppQuantum = 20 * kMicrosecond;
+
+class AppThread {
+ public:
+  AppThread(Kernel& kernel, CoreId core, uint64_t seed)
+      : kernel_(kernel),
+        core_(core),
+        rng_(seed),
+        compute_factor_(kernel.config().compute_overhead_factor) {}
+
+  CoreId core() const { return core_; }
+  Rng& rng() { return rng_; }
+  Kernel& kernel() { return kernel_; }
+
+  // Accumulates local compute time (scaled by the variant's virtualization
+  // overhead factor). Accumulation is fractional so sub-nanosecond tax on
+  // small quanta is not truncated away.
+  void Compute(SimTime ns) { pending_acc_ += static_cast<double>(ns) * compute_factor_; }
+
+  // Engine time plus locally accumulated (not yet flushed) compute time.
+  SimTime logical_now() const {
+    return Engine::current().now() + static_cast<SimTime>(pending_acc_);
+  }
+
+  // Touches the page containing `addr`. Fast path (present PTE, quantum not
+  // exceeded) never suspends.  Usage: `co_await t.Access(addr, write);`
+  struct AccessAwaiter {
+    AppThread& t;
+    uint64_t vpn;
+    bool write;
+    Task<> slow;
+
+    bool await_ready() {
+      if (t.pending_acc_ < static_cast<double>(kAppQuantum) &&
+          t.kernel_.topology().core(t.core_).stolen_total_ns() == t.stolen_seen_ &&
+          t.kernel_.TryFastAccess(vpn, write)) {
+        return true;
+      }
+      return false;
+    }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+      slow = t.AccessSlow(vpn, write);
+      return slow.BeginAwait(h);
+    }
+    void await_resume() {
+      if (slow.valid()) slow.RethrowIfException();
+    }
+  };
+
+  AccessAwaiter Access(uint64_t addr, bool write) {
+    return AccessAwaiter{*this, addr >> kPageShift, write, {}};
+  }
+  AccessAwaiter AccessPage(uint64_t vpn, bool write) {
+    return AccessAwaiter{*this, vpn, write, {}};
+  }
+
+  // Flushes accumulated compute time to the engine (used at loop boundaries
+  // and before reading wall-clock-like state).
+  Task<> Sync() {
+    SimTime d = TakePending();
+    if (d > 0) co_await Delay{d};
+  }
+
+  uint64_t ops = 0;  // workload-defined unit of work counter
+
+ private:
+  friend struct AccessAwaiter;
+
+  SimTime TakePending() {
+    Core& c = kernel_.topology().core(core_);
+    SimTime whole = static_cast<SimTime>(pending_acc_);
+    pending_acc_ -= static_cast<double>(whole);  // keep the fractional remainder
+    SimTime d = whole + c.DrainStolenTime();
+    stolen_seen_ = c.stolen_total_ns();
+    return d;
+  }
+
+  Task<> AccessSlow(uint64_t vpn, bool write) {
+    SimTime d = TakePending();
+    if (d > 0) co_await Delay{d};
+    while (!kernel_.TryFastAccess(vpn, write)) {
+      co_await kernel_.Fault(core_, vpn, write);
+    }
+  }
+
+  Kernel& kernel_;
+  CoreId core_;
+  Rng rng_;
+  double compute_factor_;
+  double pending_acc_ = 0;
+  SimTime stolen_seen_ = 0;
+};
+
+// A multi-threaded application.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  // Pages of simulated address space the workload touches ([0, wss_pages)).
+  virtual uint64_t wss_pages() const = 0;
+  virtual int num_threads() const = 0;
+  // Body of thread `tid`, running on `t.core()`. Must return (poll
+  // Engine::current().shutdown_requested() in unbounded loops).
+  virtual Task<> ThreadBody(AppThread& t, int tid) = 0;
+
+  // Human-readable unit for `ops` (throughput reporting).
+  virtual std::string ops_unit() const { return "ops"; }
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_WORKLOADS_WORKLOAD_H_

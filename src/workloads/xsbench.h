@@ -1,0 +1,58 @@
+// XSBench-style Monte Carlo macroscopic cross-section lookup (§6.1): each
+// lookup binary-searches the unionized energy grid, then gathers per-nuclide
+// cross-section data at random offsets — random access with substantial
+// per-access compute (more than GapBS, §6.2).
+#ifndef MAGESIM_WORKLOADS_XSBENCH_H_
+#define MAGESIM_WORKLOADS_XSBENCH_H_
+
+#include <memory>
+
+#include "src/workloads/workload.h"
+
+namespace magesim {
+
+class XsBenchWorkload : public Workload {
+ public:
+  struct Options {
+    uint64_t gridpoints = 1 << 21;  // unionized grid entries (paper: 10.6 M)
+    int nuclides = 355;
+    int nuclides_per_lookup = 5;    // gather width per macro-XS lookup
+    uint64_t lookups_per_thread = 20000;
+    int threads = 48;
+    uint64_t seed = 11;
+    SimTime compute_per_lookup_ns = 12000;  // interpolation math dominates
+    // Sampled particle energies follow a peaked spectrum (resonance regions
+    // dominate), giving the unionized grid strong access locality.
+    double energy_zipf_theta = 0.85;
+  };
+
+  explicit XsBenchWorkload(Options opt);
+
+  std::string name() const override { return "xsbench"; }
+  uint64_t wss_pages() const override { return wss_pages_; }
+  int num_threads() const override { return opt_.threads; }
+  std::string ops_unit() const override { return "lookups"; }
+
+  Task<> ThreadBody(AppThread& t, int tid) override;
+
+  // Accumulated verification hash over all computed cross sections.
+  uint64_t result_hash() const { return result_hash_; }
+
+ private:
+  uint64_t GridVpn(uint64_t index) const { return grid_base_ + index / entries_per_page_; }
+  uint64_t XsVpn(uint64_t index) const { return xs_base_ + index / xs_per_page_; }
+
+  Options opt_;
+  std::unique_ptr<ZipfGenerator> energy_dist_;
+  uint64_t entries_per_page_;
+  uint64_t xs_per_page_;
+  uint64_t grid_base_;
+  uint64_t xs_base_;
+  uint64_t xs_entries_;
+  uint64_t wss_pages_;
+  uint64_t result_hash_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_WORKLOADS_XSBENCH_H_

@@ -1,0 +1,122 @@
+// End-to-end integration: full machine + kernel + workload across variants.
+#include <gtest/gtest.h>
+
+#include "src/core/farmem.h"
+#include "src/core/ideal_model.h"
+#include "src/workloads/gups.h"
+#include "src/workloads/seqscan.h"
+
+namespace magesim {
+namespace {
+
+RunResult RunSeqScan(const KernelConfig& cfg, double local_ratio, int threads = 8,
+                     uint64_t pages = 8192, int passes = 2) {
+  SeqScanWorkload wl({.region_pages = pages, .threads = threads, .passes = passes});
+  FarMemoryMachine::Options opt;
+  opt.kernel = cfg;
+  opt.local_mem_ratio = local_ratio;
+  FarMemoryMachine m(opt, wl);
+  return m.Run();
+}
+
+TEST(IntegrationTest, AllLocalHasNoFaultsAndFullThroughput) {
+  RunResult r = RunSeqScan(MageLibConfig(), 1.0);
+  EXPECT_EQ(r.faults, 0u);
+  EXPECT_EQ(r.total_ops, 2u * 8192u);
+  // 8 threads x 5.57us/page over 2 passes of 8192 pages.
+  EXPECT_NEAR(r.sim_seconds, 8192.0 * 2 / 8 * 5570e-9, 0.002);
+}
+
+TEST(IntegrationTest, OffloadingCausesFaultsAndEvictions) {
+  RunResult r = RunSeqScan(MageLibConfig(), 0.5);
+  EXPECT_GT(r.faults, 4000u);       // streaming over 2x the resident set
+  EXPECT_GT(r.evicted_pages, 2000u);
+  EXPECT_EQ(r.sync_evictions, 0u);  // MAGE never sync-evicts
+  EXPECT_GT(r.nic_read_gbps, 0.1);
+}
+
+TEST(IntegrationTest, EverySystemVariantCompletes) {
+  for (const auto& cfg : AllSystemConfigs()) {
+    RunResult r = RunSeqScan(cfg, 0.6, /*threads=*/8, /*pages=*/4096, /*passes=*/2);
+    EXPECT_EQ(r.total_ops, 2u * 4096u) << cfg.name;
+    EXPECT_GT(r.faults, 500u) << cfg.name;
+    EXPECT_GT(r.sim_seconds, 0.0) << cfg.name;
+  }
+}
+
+TEST(IntegrationTest, IdealVariantTracksAnalyticModel) {
+  // Simulated ideal system ~= closed-form model: T = T0 + L * max_faults.
+  RunResult local = RunSeqScan(IdealConfig(), 1.0);
+  RunResult off = RunSeqScan(IdealConfig(), 0.5);
+  double predicted_fraction =
+      IdealThroughputFraction(off.faults_per_core, local.sim_seconds, UsToNs(3.9));
+  double measured_fraction = local.sim_seconds / off.sim_seconds;
+  EXPECT_NEAR(measured_fraction, predicted_fraction, 0.08);
+}
+
+TEST(IntegrationTest, MageBeatsHermitUnderPressure) {
+  RunResult mage = RunSeqScan(MageLibConfig(), 0.5, 16, 16384, 2);
+  RunResult hermit = RunSeqScan(HermitConfig(), 0.5, 16, 16384, 2);
+  EXPECT_LT(mage.sim_seconds, hermit.sim_seconds);
+  EXPECT_EQ(mage.sync_evictions, 0u);
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  RunResult a = RunSeqScan(MageLibConfig(), 0.5);
+  RunResult b = RunSeqScan(MageLibConfig(), 0.5);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.evicted_pages, b.evicted_pages);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+TEST(IntegrationTest, SeqScanChecksumIndependentOfPaging) {
+  // The computed result (real work) must not depend on memory placement.
+  SeqScanWorkload wl_local({.region_pages = 2048, .threads = 4, .passes = 1});
+  SeqScanWorkload wl_far({.region_pages = 2048, .threads = 4, .passes = 1});
+  FarMemoryMachine::Options o1, o2;
+  o1.kernel = MageLibConfig();
+  o1.local_mem_ratio = 1.0;
+  o2.kernel = HermitConfig();
+  o2.local_mem_ratio = 0.3;
+  {
+    FarMemoryMachine m(o1, wl_local);
+    m.Run();
+  }
+  {
+    FarMemoryMachine m(o2, wl_far);
+    m.Run();
+  }
+  EXPECT_EQ(wl_local.checksum(), wl_far.checksum());
+  EXPECT_NE(wl_local.checksum(), 0u);
+}
+
+TEST(IntegrationTest, TimeLimitStopsLongWorkload) {
+  GupsWorkload wl({.total_pages = 4096,
+                   .threads = 4,
+                   .phase_change_at = 10 * kMillisecond,
+                   .run_for = 10 * kSecond});
+  FarMemoryMachine::Options opt;
+  opt.kernel = MageLibConfig();
+  opt.local_mem_ratio = 0.9;
+  opt.time_limit = 50 * kMillisecond;
+  FarMemoryMachine m(opt, wl);
+  RunResult r = m.Run();
+  EXPECT_LT(r.sim_seconds, 0.2);
+  EXPECT_GT(r.total_ops, 0u);
+}
+
+TEST(IntegrationTest, FaultsPerCoreRecorded) {
+  RunResult r = RunSeqScan(MageLibConfig(), 0.5);
+  uint64_t total = 0;
+  int faulting_cores = 0;
+  for (uint64_t f : r.faults_per_core) {
+    total += f;
+    if (f > 0) ++faulting_cores;
+  }
+  EXPECT_GE(total, r.faults);
+  EXPECT_EQ(faulting_cores, 8);  // all app threads fault
+}
+
+}  // namespace
+}  // namespace magesim

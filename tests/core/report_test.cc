@@ -1,0 +1,70 @@
+#include "src/core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ideal_model.h"
+#include "src/hw/machine_params.h"
+
+namespace magesim {
+namespace {
+
+TEST(TableTest, AlignsColumnsAndPadsShortRows) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name"});  // short row padded
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+  EXPECT_EQ(Table::Pct(12.345, 1), "12.3%");
+}
+
+TEST(IdealModelTest, ClosedFormProperties) {
+  // No faults => no degradation.
+  EXPECT_DOUBLE_EQ(IdealThroughputFraction({0, 0, 0}, 10.0, UsToNs(3.9)), 1.0);
+  // The slowest core bounds throughput.
+  std::vector<uint64_t> skewed = {100, 1000000, 100};
+  std::vector<uint64_t> flat = {1000000, 1000000, 1000000};
+  EXPECT_DOUBLE_EQ(IdealThroughputFraction(skewed, 10.0, UsToNs(3.9)),
+                   IdealThroughputFraction(flat, 10.0, UsToNs(3.9)));
+  // Drop percent is the complement.
+  double f = IdealThroughputFraction(flat, 10.0, UsToNs(3.9));
+  EXPECT_NEAR(IdealThroughputDropPercent(flat, 10.0, UsToNs(3.9)), (1 - f) * 100, 1e-9);
+  // Jobs/hour at zero faults equals 3600/T0.
+  EXPECT_NEAR(IdealJobsPerHour({0}, 7.2, UsToNs(3.9)), 500.0, 1e-9);
+}
+
+TEST(MachineParamsTest, WireMathMatchesPaperConstants) {
+  MachineParams p = BareMetalParams();
+  // 4 KB at 192 Gbps: ~170 ns; unloaded op = the paper's L = 3.9 us.
+  EXPECT_NEAR(static_cast<double>(p.PageWireTime()), 170.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(p.UnloadedRdmaNs()), 3900.0, 10.0);
+  EXPECT_EQ(p.cores(), 56);
+  // 5.83 M pages/s ideal ceiling.
+  EXPECT_NEAR(1e9 / static_cast<double>(p.PageWireTime()) / 1e6, 5.86, 0.05);
+}
+
+TEST(MachineParamsTest, BackendPresetsAreOrdered) {
+  MachineParams rdma = VirtualizedParams();
+  MachineParams ssd = NvmeBackendParams();
+  MachineParams zswap = ZswapBackendParams();
+  EXPECT_GT(ssd.UnloadedRdmaNs(), 4 * rdma.UnloadedRdmaNs());
+  EXPECT_LT(zswap.UnloadedRdmaNs(), rdma.UnloadedRdmaNs());
+  EXPECT_LT(ssd.nic_gbps, rdma.nic_gbps);
+}
+
+}  // namespace
+}  // namespace magesim

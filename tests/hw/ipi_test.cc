@@ -1,0 +1,168 @@
+#include "src/hw/ipi.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/sim/engine.h"
+
+namespace magesim {
+namespace {
+
+std::vector<CoreId> Cores(int n) {
+  std::vector<CoreId> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(TopologyTest, SocketAssignment) {
+  Topology topo(BareMetalParams());
+  EXPECT_EQ(topo.num_cores(), 56);
+  EXPECT_EQ(topo.SocketOf(0), 0);
+  EXPECT_EQ(topo.SocketOf(27), 0);
+  EXPECT_EQ(topo.SocketOf(28), 1);
+  EXPECT_TRUE(topo.SameSocket(3, 20));
+  EXPECT_FALSE(topo.SameSocket(3, 40));
+}
+
+TEST(ShootdownTest, NoRemoteTargetsCompletesWithLocalFlushOnly) {
+  Engine e;
+  Topology topo(BareMetalParams());
+  TlbShootdownManager mgr(topo);
+  mgr.SetTargetCores({0});
+  SimTime done = -1;
+  auto body = [](Engine& e, TlbShootdownManager& mgr, SimTime& done) -> Task<> {
+    co_await mgr.Shootdown(/*initiator=*/0, /*num_pages=*/1);
+    done = e.now();
+  };
+  e.Spawn(body(e, mgr, done));
+  e.Run();
+  EXPECT_EQ(done, BareMetalParams().invlpg_ns);  // only the local INVLPG
+  EXPECT_EQ(mgr.ipis_sent(), 0u);
+}
+
+TEST(ShootdownTest, SingleTargetLatencyComposition) {
+  Engine e;
+  MachineParams p = BareMetalParams();
+  Topology topo(p);
+  TlbShootdownManager mgr(topo);
+  mgr.SetTargetCores({0, 1});  // initiator 0, one same-socket target
+  SimTime done = -1;
+  auto body = [](Engine& e, TlbShootdownManager& mgr, SimTime& done) -> Task<> {
+    co_await mgr.Shootdown(0, 1);
+    done = e.now();
+  };
+  e.Spawn(body(e, mgr, done));
+  e.Run();
+  SimTime expected = p.invlpg_ns                       // local flush
+                     + p.ipi_send_ns                   // ICR write
+                     + p.ipi_delivery_same_socket_ns   // wire
+                     + p.ipi_handler_base_ns + p.invlpg_ns;  // handler
+  EXPECT_EQ(done, expected);
+  EXPECT_EQ(mgr.ipis_sent(), 1u);
+  EXPECT_EQ(topo.core(1).interrupts_received(), 1u);
+  EXPECT_GT(topo.core(1).stolen_total_ns(), 0);
+}
+
+TEST(ShootdownTest, CrossSocketIsSlower) {
+  MachineParams p = BareMetalParams();
+  auto run = [&](CoreId target) {
+    Engine e;
+    Topology topo(p);
+    TlbShootdownManager mgr(topo);
+    mgr.SetTargetCores({0, target});
+    SimTime done = -1;
+    auto body = [](Engine& e, TlbShootdownManager& mgr, SimTime& done) -> Task<> {
+      co_await mgr.Shootdown(0, 1);
+      done = e.now();
+    };
+    e.Spawn(body(e, mgr, done));
+    e.Run();
+    return done;
+  };
+  SimTime same = run(1);
+  SimTime cross = run(40);
+  EXPECT_EQ(cross - same, p.ipi_delivery_cross_socket_ns - p.ipi_delivery_same_socket_ns);
+}
+
+TEST(ShootdownTest, LargeBatchUsesFullFlush) {
+  Engine e;
+  MachineParams p = BareMetalParams();
+  Topology topo(p);
+  TlbShootdownManager mgr(topo);
+  EXPECT_EQ(mgr.HandlerCost(1), p.ipi_handler_base_ns + p.invlpg_ns);
+  EXPECT_EQ(mgr.HandlerCost(256), p.ipi_handler_base_ns + p.full_flush_ns);
+  // Handler cost is capped: flushing 256 pages is cheaper than 256 INVLPGs.
+  EXPECT_LT(mgr.HandlerCost(256), p.ipi_handler_base_ns + 256 * p.invlpg_ns);
+}
+
+TEST(ShootdownTest, VirtualizationAddsVmexits) {
+  auto run = [](MachineParams p) {
+    Engine e;
+    Topology topo(p);
+    TlbShootdownManager mgr(topo);
+    mgr.SetTargetCores({0, 1});
+    SimTime done = -1;
+    auto body = [](Engine& e, TlbShootdownManager& mgr, SimTime& done) -> Task<> {
+      co_await mgr.Shootdown(0, 1);
+      done = e.now();
+    };
+    e.Spawn(body(e, mgr, done));
+    e.Run();
+    return done;
+  };
+  SimTime bare = run(BareMetalParams());
+  SimTime virt = run(VirtualizedParams());
+  EXPECT_EQ(virt - bare, 2 * BareMetalParams().vmexit_ns);  // send + receive exits
+}
+
+Task<> StormInitiator(TlbShootdownManager& mgr, CoreId self, int rounds, WaitGroup& wg) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await mgr.Shootdown(self, 8);
+  }
+  wg.Done();
+}
+
+TEST(ShootdownTest, ConcurrentInitiatorsInflatePerIpiLatency) {
+  // One initiator alone vs. 24 initiators concurrently: per-IPI latency must
+  // grow (target-side queueing), reproducing the §3.3.1 IPI-storm effect.
+  auto mean_ipi = [](int initiators) {
+    Engine e;
+    Topology topo(BareMetalParams());
+    TlbShootdownManager mgr(topo);
+    mgr.SetTargetCores(Cores(32));
+    WaitGroup wg;
+    for (int i = 0; i < initiators; ++i) {
+      wg.Add();
+      e.Spawn(StormInitiator(mgr, i, 4, wg));
+    }
+    e.Run();
+    return mgr.ipi_delivery_latency().mean();
+  };
+  double solo = mean_ipi(1);
+  double storm = mean_ipi(24);
+  EXPECT_GT(storm, 2.0 * solo);
+}
+
+TEST(ShootdownTest, BeginFinishSplitAllowsOverlap) {
+  Engine e;
+  Topology topo(BareMetalParams());
+  TlbShootdownManager mgr(topo);
+  mgr.SetTargetCores(Cores(8));
+  SimTime begin_done = -1, finish_done = -1;
+  auto body = [](Engine& e, TlbShootdownManager& mgr, SimTime& b, SimTime& f) -> Task<> {
+    auto op = co_await mgr.Begin(0, 16);
+    b = e.now();
+    co_await mgr.Finish(op);
+    f = e.now();
+  };
+  e.Spawn(body(e, mgr, begin_done, finish_done));
+  e.Run();
+  EXPECT_GT(begin_done, 0);
+  EXPECT_GT(finish_done, begin_done);  // delivery outlasts the send loop
+  EXPECT_EQ(mgr.shootdowns(), 1u);
+  EXPECT_EQ(mgr.shootdown_latency().count(), 1u);
+}
+
+}  // namespace
+}  // namespace magesim

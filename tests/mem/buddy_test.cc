@@ -1,0 +1,130 @@
+#include "src/mem/buddy_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace magesim {
+namespace {
+
+TEST(BuddyTest, InitialStateAllFree) {
+  FramePool pool(1024);
+  BuddyAllocator b(pool);
+  EXPECT_EQ(b.free_pages(), 1024u);
+  EXPECT_EQ(b.total_pages(), 1024u);
+  EXPECT_TRUE(b.CheckConsistency());
+  EXPECT_EQ(b.FreeListSize(BuddyAllocator::kMaxOrder), 1u);
+}
+
+TEST(BuddyTest, NonPowerOfTwoPoolIsFullyCovered) {
+  FramePool pool(1000);
+  BuddyAllocator b(pool);
+  EXPECT_EQ(b.free_pages(), 1000u);
+  EXPECT_TRUE(b.CheckConsistency());
+}
+
+TEST(BuddyTest, AllocSetsStateAndDecrementsFree) {
+  FramePool pool(64);
+  BuddyAllocator b(pool);
+  PageFrame* f = b.AllocPage();
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->state, PageFrame::State::kAllocated);
+  EXPECT_EQ(b.free_pages(), 63u);
+  EXPECT_TRUE(b.CheckConsistency());
+}
+
+TEST(BuddyTest, SplitAndCoalesceRoundTrip) {
+  FramePool pool(1024);
+  BuddyAllocator b(pool);
+  uint32_t blk = b.AllocBlock(3);  // 8 pages
+  ASSERT_NE(blk, BuddyAllocator::kNoBlock);
+  EXPECT_EQ(blk % 8, 0u);  // order-aligned
+  EXPECT_EQ(b.free_pages(), 1016u);
+  b.FreeBlock(blk, 3);
+  EXPECT_EQ(b.free_pages(), 1024u);
+  // Fully coalesced back to one max-order block.
+  EXPECT_EQ(b.FreeListSize(BuddyAllocator::kMaxOrder), 1u);
+  EXPECT_TRUE(b.CheckConsistency());
+}
+
+TEST(BuddyTest, ExhaustionReturnsNoBlock) {
+  FramePool pool(16);
+  BuddyAllocator b(pool);
+  std::vector<PageFrame*> frames;
+  for (int i = 0; i < 16; ++i) {
+    PageFrame* f = b.AllocPage();
+    ASSERT_NE(f, nullptr);
+    frames.push_back(f);
+  }
+  EXPECT_EQ(b.AllocPage(), nullptr);
+  EXPECT_EQ(b.free_pages(), 0u);
+  for (PageFrame* f : frames) b.FreePage(f);
+  EXPECT_EQ(b.free_pages(), 16u);
+  EXPECT_TRUE(b.CheckConsistency());
+}
+
+TEST(BuddyTest, NoDoubleHandoutOfFrames) {
+  FramePool pool(256);
+  BuddyAllocator b(pool);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    PageFrame* f = b.AllocPage();
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(seen.insert(f->pfn).second) << "pfn " << f->pfn << " handed out twice";
+  }
+}
+
+TEST(BuddyTest, RandomizedStressKeepsInvariants) {
+  FramePool pool(2048);
+  BuddyAllocator b(pool);
+  Rng rng(42);
+  struct Held {
+    uint32_t pfn;
+    int order;
+  };
+  std::vector<Held> held;
+  for (int iter = 0; iter < 5000; ++iter) {
+    if (held.empty() || rng.NextBool(0.55)) {
+      int order = static_cast<int>(rng.NextU64(4));
+      uint32_t blk = b.AllocBlock(order);
+      if (blk != BuddyAllocator::kNoBlock) {
+        held.push_back({blk, order});
+      }
+    } else {
+      size_t i = rng.NextU64(held.size());
+      b.FreeBlock(held[i].pfn, held[i].order);
+      held[i] = held.back();
+      held.pop_back();
+    }
+  }
+  EXPECT_TRUE(b.CheckConsistency());
+  for (auto& h : held) b.FreeBlock(h.pfn, h.order);
+  EXPECT_EQ(b.free_pages(), 2048u);
+  EXPECT_TRUE(b.CheckConsistency());
+}
+
+TEST(BuddyTest, WorkCounterReflectsSplitDepth) {
+  FramePool pool(1024);
+  BuddyAllocator b(pool);
+  b.AllocBlock(0);  // splits from order 10 down to 0
+  int deep_split_work = b.last_op_work();
+  b.AllocBlock(0);  // order-0 block now available directly
+  int shallow_work = b.last_op_work();
+  EXPECT_GT(deep_split_work, shallow_work);
+}
+
+TEST(FramePoolTest, CountInState) {
+  FramePool pool(32);
+  BuddyAllocator b(pool);
+  EXPECT_EQ(pool.CountInState(PageFrame::State::kFree), 32u);
+  b.AllocPage();
+  b.AllocPage();
+  EXPECT_EQ(pool.CountInState(PageFrame::State::kAllocated), 2u);
+  EXPECT_EQ(pool.CountInState(PageFrame::State::kFree), 30u);
+}
+
+}  // namespace
+}  // namespace magesim

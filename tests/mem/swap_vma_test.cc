@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mem/swap_allocator.h"
+#include "src/mem/vma.h"
+#include "src/sim/engine.h"
+
+namespace magesim {
+namespace {
+
+TEST(SwapAllocatorTest, AllocatesDistinctSlots) {
+  Engine e;
+  SwapAllocator swap(1024, 4);
+  e.Spawn([](SwapAllocator& s) -> Task<> {
+    std::set<uint64_t> slots;
+    for (int i = 0; i < 100; ++i) {
+      uint64_t slot = co_await s.Alloc(0);
+      EXPECT_NE(slot, SwapAllocator::kNoSlot);
+      EXPECT_TRUE(slots.insert(slot).second);
+    }
+    EXPECT_EQ(s.free_slots(), 1024u - 100u);
+  }(swap));
+  e.Run();
+}
+
+TEST(SwapAllocatorTest, FreeMakesSlotReusable) {
+  Engine e;
+  SwapAllocator swap(4, 1);
+  e.Spawn([](SwapAllocator& s) -> Task<> {
+    uint64_t a = co_await s.Alloc(0);
+    uint64_t b = co_await s.Alloc(0);
+    uint64_t c = co_await s.Alloc(0);
+    uint64_t d = co_await s.Alloc(0);
+    EXPECT_EQ(co_await s.Alloc(0), SwapAllocator::kNoSlot);
+    co_await s.Free(b);
+    uint64_t again = co_await s.Alloc(0);
+    EXPECT_EQ(again, b);
+    (void)a;
+    (void)c;
+    (void)d;
+  }(swap));
+  e.Run();
+}
+
+TEST(SwapAllocatorTest, PerCoreHintsStartStaggered) {
+  Engine e;
+  SwapAllocator swap(4096, 4);
+  e.Spawn([](SwapAllocator& s) -> Task<> {
+    uint64_t c0 = co_await s.Alloc(0);
+    uint64_t c1 = co_await s.Alloc(1);
+    uint64_t c2 = co_await s.Alloc(2);
+    // Different cores allocate from different clusters.
+    EXPECT_NE(c0 / SwapAllocator::kClusterSlots, c1 / SwapAllocator::kClusterSlots);
+    EXPECT_NE(c1 / SwapAllocator::kClusterSlots, c2 / SwapAllocator::kClusterSlots);
+  }(swap));
+  e.Run();
+}
+
+Task<> SwapHammer(SwapAllocator& s, CoreId core, int iters, WaitGroup& wg) {
+  for (int i = 0; i < iters; ++i) {
+    uint64_t slot = co_await s.Alloc(core);
+    co_await Delay{100};
+    co_await s.Free(slot);
+  }
+  wg.Done();
+}
+
+TEST(SwapAllocatorTest, GlobalLockContendsAcrossCores) {
+  Engine e;
+  SwapAllocator swap(1 << 16, 32);
+  WaitGroup wg;
+  for (int c = 0; c < 32; ++c) {
+    wg.Add();
+    e.Spawn(SwapHammer(swap, c, 50, wg));
+  }
+  e.Run();
+  EXPECT_GT(swap.lock_stats().contended, 100u);
+  EXPECT_GT(swap.lock_stats().mean_wait_ns(), 500.0);
+}
+
+TEST(DirectMappingTest, IsLinearAndFree) {
+  DirectMapping dm(1000);
+  EXPECT_EQ(dm.RemoteOffsetFor(0), 1000u);
+  EXPECT_EQ(dm.RemoteOffsetFor(128), 1128u);
+}
+
+TEST(VmaTest, LockedSetFindsCoveringVma) {
+  Engine e;
+  LockedVmaSet vmas;
+  vmas.Add({0, 100, 1});
+  vmas.Add({100, 300, 2});
+  e.Spawn([](LockedVmaSet& v) -> Task<> {
+    const Vma* a = co_await v.Find(50);
+    EXPECT_NE(a, nullptr);
+    EXPECT_EQ(a->id, 1);
+    const Vma* b = co_await v.Find(100);
+    EXPECT_NE(b, nullptr);
+    EXPECT_EQ(b->id, 2);
+    EXPECT_EQ(co_await v.Find(500), nullptr);
+  }(vmas));
+  e.Run();
+  EXPECT_EQ(vmas.lock_stats()->acquisitions, 3u);
+}
+
+Task<> VmaHammer(VmaResolver& v, uint64_t vpn, int iters, WaitGroup& wg) {
+  for (int i = 0; i < iters; ++i) {
+    co_await v.Find(vpn);
+    co_await Delay{20};
+  }
+  wg.Done();
+}
+
+TEST(VmaTest, ShardingRemovesContention) {
+  auto contended_waits = [](bool sharded) -> uint64_t {
+    Engine e;
+    std::unique_ptr<VmaResolver> v;
+    auto locked = std::make_unique<LockedVmaSet>();
+    auto shards = std::make_unique<ShardedVmaSet>(1 << 20, 64);
+    locked->Add({0, 1 << 20, 1});
+    shards->Add({0, 1 << 20, 1});
+    WaitGroup wg;
+    VmaResolver& r = sharded ? static_cast<VmaResolver&>(*shards)
+                             : static_cast<VmaResolver&>(*locked);
+    for (int c = 0; c < 32; ++c) {
+      wg.Add();
+      // Each "core" faults in its own address region: disjoint shards.
+      e.Spawn(VmaHammer(r, static_cast<uint64_t>(c) << 14, 50, wg));
+    }
+    e.Run();
+    if (sharded) {
+      return static_cast<ShardedVmaSet*>(&r)->AggregateLockStats().contended;
+    }
+    return static_cast<LockedVmaSet*>(&r)->lock_stats()->contended;
+  };
+  EXPECT_GT(contended_waits(false), 100u);
+  EXPECT_EQ(contended_waits(true), 0u);
+}
+
+TEST(VmaTest, NoVmaIsInstant) {
+  Engine e;
+  NoVma v(1024);
+  SimTime elapsed = -1;
+  e.Spawn([](Engine& e, NoVma& v, SimTime& elapsed) -> Task<> {
+    const Vma* a = co_await v.Find(5);
+    EXPECT_NE(a, nullptr);
+    EXPECT_EQ(co_await v.Find(4096), nullptr);
+    elapsed = e.now();
+  }(e, v, elapsed));
+  e.Run();
+  EXPECT_EQ(elapsed, 0);
+}
+
+}  // namespace
+}  // namespace magesim

@@ -1,0 +1,232 @@
+// Parameterized property tests: invariants that must hold for every system
+// variant, offloading ratio, and configuration sweep.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/accounting/partitioned_fifo.h"
+#include "src/core/farmem.h"
+#include "src/workloads/seqscan.h"
+
+namespace magesim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-variant invariants.
+// ---------------------------------------------------------------------------
+
+class VariantProperty : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantProperty,
+                         ::testing::Values("ideal", "hermit", "dilos", "magelnx", "magelib"));
+
+TEST_P(VariantProperty, RunIsDeterministic) {
+  auto run = [&] {
+    SeqScanWorkload wl({.region_pages = 6144, .threads = 8, .passes = 2});
+    FarMemoryMachine::Options opt;
+    opt.kernel = ConfigByName(GetParam());
+    opt.local_mem_ratio = 0.6;
+    FarMemoryMachine m(opt, wl);
+    RunResult r = m.Run();
+    return std::tuple(r.sim_seconds, r.faults, r.evicted_pages, r.sync_evictions,
+                      r.fault_latency.sum());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(VariantProperty, PageTableFrameBijection) {
+  SeqScanWorkload wl({.region_pages = 6144, .threads = 8, .passes = 2});
+  FarMemoryMachine::Options opt;
+  opt.kernel = ConfigByName(GetParam());
+  opt.local_mem_ratio = 0.5;
+  FarMemoryMachine m(opt, wl);
+  m.Run();
+  // Every present PTE points at a mapped frame that points back at it, and
+  // no frame is referenced by two PTEs.
+  Kernel& k = m.kernel();
+  std::set<const PageFrame*> seen;
+  uint64_t mapped = 0;
+  for (uint64_t v = 0; v < k.wss_pages(); ++v) {
+    const Pte& pte = k.page_table().At(v);
+    if (!pte.present) continue;
+    ++mapped;
+    ASSERT_NE(pte.frame, nullptr);
+    EXPECT_EQ(pte.frame->vpn, v);
+    EXPECT_EQ(pte.frame->state, PageFrame::State::kMapped);
+    EXPECT_TRUE(seen.insert(pte.frame).second) << "frame aliased at vpn " << v;
+  }
+  EXPECT_EQ(mapped, k.page_table().mapped_pages());
+  // Residency never exceeds local memory.
+  EXPECT_LE(mapped, k.local_pages());
+}
+
+TEST_P(VariantProperty, NoInFlightStateLeaksAfterRun) {
+  SeqScanWorkload wl({.region_pages = 6144, .threads = 8, .passes = 2});
+  FarMemoryMachine::Options opt;
+  opt.kernel = ConfigByName(GetParam());
+  opt.local_mem_ratio = 0.5;
+  FarMemoryMachine m(opt, wl);
+  m.Run();
+  Kernel& k = m.kernel();
+  for (uint64_t v = 0; v < k.wss_pages(); ++v) {
+    EXPECT_FALSE(k.page_table().At(v).fault_in_flight) << "vpn " << v;
+  }
+  EXPECT_EQ(k.DebugFreeWaiters(), 0u);
+  EXPECT_EQ(k.DebugPendingReclaims(), 0u);
+}
+
+TEST_P(VariantProperty, MagePrinciplesEnforced) {
+  KernelConfig cfg = ConfigByName(GetParam());
+  SeqScanWorkload wl({.region_pages = 12288, .threads = 16, .passes = 2,
+                      .compute_per_page_ns = 300});
+  FarMemoryMachine::Options opt;
+  opt.kernel = cfg;
+  opt.local_mem_ratio = 0.4;
+  FarMemoryMachine m(opt, wl);
+  RunResult r = m.Run();
+  if (cfg.variant == Variant::kMageLib || cfg.variant == Variant::kMageLnx ||
+      cfg.variant == Variant::kIdeal) {
+    EXPECT_EQ(r.sync_evictions, 0u);  // P1: fault path never evicts
+  }
+  // Work conservation: every access was eventually served.
+  EXPECT_EQ(r.total_ops, 2u * 12288u);
+}
+
+// ---------------------------------------------------------------------------
+// Offloading-ratio sweep properties.
+// ---------------------------------------------------------------------------
+
+class RatioProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Offloads, RatioProperty, ::testing::Values(10, 25, 50, 75, 90));
+
+TEST_P(RatioProperty, ChecksumIndependentOfPlacementAndFaultsBounded) {
+  int far = GetParam();
+  SeqScanWorkload wl({.region_pages = 8192, .threads = 8, .passes = 2});
+  RunResult r;
+  {
+    FarMemoryMachine::Options opt;
+    opt.kernel = MageLibConfig();
+    opt.local_mem_ratio = 1.0 - far / 100.0;
+    FarMemoryMachine m(opt, wl);  // engine destroyed at scope exit
+    r = m.Run();
+  }
+  SeqScanWorkload ref({.region_pages = 8192, .threads = 8, .passes = 2});
+  FarMemoryMachine::Options ro;
+  ro.kernel = MageLibConfig();
+  ro.local_mem_ratio = 1.0;
+  FarMemoryMachine rm(ro, ref);
+  rm.Run();
+
+  EXPECT_EQ(wl.checksum(), ref.checksum());
+  // Fault count is bounded by total accesses and at least the initially
+  // non-resident fraction of one pass.
+  EXPECT_LE(r.faults, 2u * 8192u);
+  EXPECT_GE(r.faults + r.sync_evictions * 0, 8192ull * static_cast<uint64_t>(far) / 100 / 2);
+}
+
+TEST_P(RatioProperty, EvictionBalancesFaults) {
+  int far = GetParam();
+  SeqScanWorkload wl({.region_pages = 8192, .threads = 8, .passes = 3});
+  FarMemoryMachine::Options opt;
+  opt.kernel = MageLibConfig();
+  opt.local_mem_ratio = 1.0 - far / 100.0;
+  FarMemoryMachine m(opt, wl);
+  RunResult r = m.Run();
+  // Steady state: pages evicted tracks pages faulted in (within the
+  // watermark headroom plus one pipeline depth).
+  uint64_t slack = m.kernel().high_wm_pages() + 4 * 256 + 64;
+  EXPECT_LE(r.evicted_pages, r.faults + slack);
+  EXPECT_GE(r.evicted_pages + slack, r.faults);
+}
+
+// ---------------------------------------------------------------------------
+// TLB shootdown scaling properties.
+// ---------------------------------------------------------------------------
+
+class ShootdownProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(TargetCounts, ShootdownProperty, ::testing::Values(2, 8, 24, 48));
+
+TEST_P(ShootdownProperty, LatencyGrowsWithTargetsAndBatchingAmortizes) {
+  int targets = GetParam();
+  auto shootdown_ns = [&](int pages) {
+    Engine e;
+    Topology topo(BareMetalParams());
+    TlbShootdownManager mgr(topo);
+    std::vector<CoreId> cores;
+    for (int i = 0; i < targets; ++i) cores.push_back(i);
+    mgr.SetTargetCores(cores);
+    SimTime done = -1;
+    auto body = [](TlbShootdownManager& mgr, SimTime& done, int pages) -> Task<> {
+      co_await mgr.Shootdown(0, pages);
+      done = Engine::current().now();
+    };
+    e.Spawn(body(mgr, done, pages));
+    e.Run();
+    return done;
+  };
+  SimTime one_page = shootdown_ns(1);
+  SimTime batch256 = shootdown_ns(256);
+  // Batching 256 invalidations costs far less than 256 single shootdowns.
+  EXPECT_LT(batch256, 20 * one_page);
+  // More targets => strictly higher latency (sender serialization).
+  if (targets > 2) {
+    Engine e2;
+    Topology topo2(BareMetalParams());
+    TlbShootdownManager mgr2(topo2);
+    mgr2.SetTargetCores({0, 1});
+    SimTime small_done = -1;
+    auto body = [](TlbShootdownManager& mgr, SimTime& done) -> Task<> {
+      co_await mgr.Shootdown(0, 1);
+      done = Engine::current().now();
+    };
+    e2.Spawn(body(mgr2, small_done));
+    e2.Run();
+    EXPECT_GT(one_page, small_done);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accounting partition-count sweep.
+// ---------------------------------------------------------------------------
+
+class PartitionProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, PartitionProperty, ::testing::Values(1, 2, 8, 32));
+
+TEST_P(PartitionProperty, AllPagesRemainReachable) {
+  // Whatever the partition count, every inserted page can be isolated again:
+  // no page is stranded by the hashing or round-robin scanning.
+  Engine e;
+  FramePool pool(512);
+  PageTable pt(512);
+  for (uint64_t i = 0; i < 512; ++i) {
+    pool.frame(static_cast<uint32_t>(i)).state = PageFrame::State::kAllocated;
+    pt.Map(i, &pool.frame(static_cast<uint32_t>(i)));
+    pt.At(i).accessed = false;
+  }
+  PartitionedFifo fifo(pt, GetParam(), 4);
+  e.Spawn([](PageTable& pt, FramePool& pool, PartitionedFifo& fifo) -> Task<> {
+    for (uint32_t i = 0; i < 512; ++i) {
+      co_await fifo.Insert(static_cast<CoreId>(i % 56), &pool.frame(i));
+    }
+    std::vector<PageFrame*> victims;
+    int rounds = 0;
+    while (victims.size() < 512 && rounds < 64) {
+      for (int ev = 0; ev < 4; ++ev) {
+        co_await fifo.IsolateBatch(ev, static_cast<CoreId>(ev), 16, &victims);
+      }
+      ++rounds;
+    }
+    EXPECT_EQ(victims.size(), 512u);
+    EXPECT_EQ(fifo.tracked_pages(), 0u);
+    std::set<PageFrame*> uniq(victims.begin(), victims.end());
+    EXPECT_EQ(uniq.size(), 512u);
+  }(pt, pool, fifo));
+  e.Run();
+}
+
+}  // namespace
+}  // namespace magesim

@@ -1,0 +1,116 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace magesim {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_EQ(h.mean(), 1234.0);
+  // Bucketed percentile has <= ~6% relative error.
+  EXPECT_NEAR(h.Percentile(50), 1234, 1234 * 0.07);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (int i = 0; i < 16; ++i) h.Record(i);
+  EXPECT_EQ(h.Percentile(0), 0);
+  EXPECT_EQ(h.Percentile(100), 15);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 15);
+}
+
+TEST(HistogramTest, PercentilesOfUniformData) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100000; ++v) h.Record(v);
+  EXPECT_NEAR(h.Percentile(50), 50000, 50000 * 0.07);
+  EXPECT_NEAR(h.Percentile(99), 99000, 99000 * 0.07);
+  EXPECT_NEAR(h.mean(), 50000.5, 1.0);
+}
+
+TEST(HistogramTest, TailPercentileSeparatesModes) {
+  Histogram h;
+  for (int i = 0; i < 9900; ++i) h.Record(1000);
+  for (int i = 0; i < 100; ++i) h.Record(1000000);
+  EXPECT_NEAR(h.Percentile(50), 1000, 70);
+  EXPECT_GT(h.Percentile(99.5), 500000);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.mean(), 505.0, 0.1);
+}
+
+TEST(HistogramTest, RecordNEquivalentToLoop) {
+  Histogram a, b;
+  a.RecordN(77, 1000);
+  for (int i = 0; i < 1000; ++i) b.Record(77);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.Percentile(99), b.Percentile(99));
+}
+
+TEST(HistogramTest, LargeValuesStayBounded) {
+  Histogram h;
+  Rng r(1);
+  int64_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = static_cast<int64_t>(r.NextU64(1ULL << 40));
+    max_seen = std::max(max_seen, v);
+    h.Record(v);
+  }
+  EXPECT_EQ(h.max(), max_seen);
+  EXPECT_LE(h.Percentile(100), max_seen);
+  // Percentile never exceeds recorded max (clamped).
+  EXPECT_GE(h.Percentile(99.99), h.Percentile(50));
+}
+
+TEST(BreakdownTest, AccumulatesPerCategory) {
+  Breakdown b;
+  b.Add("rdma", 3900);
+  b.Add("rdma", 4100);
+  b.Add("tlb", 500);
+  EXPECT_EQ(b.entries().at("rdma").total_ns, 8000);
+  EXPECT_EQ(b.entries().at("rdma").count, 2u);
+  EXPECT_DOUBLE_EQ(b.MeanPer("rdma", 2), 4000.0);
+  EXPECT_DOUBLE_EQ(b.MeanPer("tlb", 2), 250.0);
+  EXPECT_DOUBLE_EQ(b.MeanPer("absent", 2), 0.0);
+}
+
+TEST(TimeSeriesTest, BucketsByTime) {
+  TimeSeries ts(100 * kMillisecond);
+  ts.Add(0, 1);
+  ts.Add(50 * kMillisecond, 1);
+  ts.Add(150 * kMillisecond, 5);
+  ts.Add(999 * kMillisecond, 2);
+  ASSERT_EQ(ts.buckets().size(), 10u);
+  EXPECT_EQ(ts.buckets()[0], 2);
+  EXPECT_EQ(ts.buckets()[1], 5);
+  EXPECT_EQ(ts.buckets()[9], 2);
+  EXPECT_DOUBLE_EQ(ts.RatePerSec(1), 50.0);  // 5 events / 0.1 s
+  EXPECT_DOUBLE_EQ(ts.RatePerSec(42), 0.0);
+}
+
+}  // namespace
+}  // namespace magesim

@@ -1,0 +1,122 @@
+#include "src/workloads/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/farmem.h"
+
+namespace magesim {
+namespace {
+
+TEST(TraceGenTest, ScanTraceShape) {
+  Trace t = GenerateScanTrace({.wss_pages = 1024, .threads = 4, .accesses_per_thread = 600});
+  EXPECT_EQ(t.num_threads(), 4);
+  EXPECT_EQ(t.total_accesses(), 2400u);
+  // Thread 0 scans its shard sequentially with wraparound.
+  const auto& s = t.streams[0];
+  EXPECT_EQ(s[0].vpn, 0u);
+  EXPECT_EQ(s[1].vpn, 1u);
+  EXPECT_EQ(s[256].vpn, 0u);  // shard = 256 pages
+  // All accesses in range.
+  for (const auto& st : t.streams) {
+    for (const auto& r : st) EXPECT_LT(r.vpn, 1024u);
+  }
+}
+
+TEST(TraceGenTest, ZipfTraceIsSkewedAndDeterministic) {
+  TraceGenOptions opt{.wss_pages = 4096, .threads = 2, .accesses_per_thread = 5000, .seed = 3};
+  Trace a = GenerateZipfTrace(opt, 0.99);
+  Trace b = GenerateZipfTrace(opt, 0.99);
+  ASSERT_EQ(a.streams[0].size(), b.streams[0].size());
+  for (size_t i = 0; i < a.streams[0].size(); ++i) {
+    EXPECT_EQ(a.streams[0][i].vpn, b.streams[0][i].vpn);
+  }
+  // Skew: the most frequent page dominates a uniform share.
+  std::map<uint64_t, int> counts;
+  for (const auto& r : a.streams[0]) ++counts[r.vpn];
+  int max_count = 0;
+  for (auto& [vpn, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 50);  // uniform share would be ~1.2
+}
+
+TEST(TraceGenTest, MixedTraceContainsScanBursts) {
+  Trace t = GenerateMixedTrace({.wss_pages = 4096, .threads = 2, .accesses_per_thread = 4000},
+                               0.9, 0.2);
+  // Detect at least one run of 16 consecutive vpns (a scan burst).
+  bool found_burst = false;
+  const auto& s = t.streams[0];
+  int run = 0;
+  for (size_t i = 1; i < s.size(); ++i) {
+    run = (s[i].vpn == s[i - 1].vpn + 1) ? run + 1 : 0;
+    if (run >= 16) {
+      found_burst = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_burst);
+}
+
+TEST(TraceIoTest, SaveLoadRoundTrip) {
+  Trace t = GenerateMixedTrace({.wss_pages = 2048, .threads = 3, .accesses_per_thread = 1000},
+                               0.8, 0.1);
+  std::string path = ::testing::TempDir() + "/trace_roundtrip.bin";
+  ASSERT_TRUE(t.SaveTo(path));
+  Trace loaded;
+  ASSERT_TRUE(Trace::LoadFrom(path, &loaded));
+  EXPECT_EQ(loaded.wss_pages, t.wss_pages);
+  ASSERT_EQ(loaded.num_threads(), t.num_threads());
+  for (int s = 0; s < t.num_threads(); ++s) {
+    const auto& a = t.streams[static_cast<size_t>(s)];
+    const auto& b = loaded.streams[static_cast<size_t>(s)];
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].vpn, b[i].vpn);
+      EXPECT_EQ(a[i].compute_ns, b[i].compute_ns);
+      EXPECT_EQ(a[i].write, b[i].write);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsCorruptFiles) {
+  std::string path = ::testing::TempDir() + "/garbage.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a trace file at all", f);
+  std::fclose(f);
+  Trace t;
+  EXPECT_FALSE(Trace::LoadFrom(path, &t));
+  EXPECT_FALSE(Trace::LoadFrom("/nonexistent/path/trace.bin", &t));
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayTest, ReplayDrivesKernelAndCountsOps) {
+  Trace t = GenerateZipfTrace(
+      {.wss_pages = 8192, .threads = 8, .accesses_per_thread = 2000}, 0.8);
+  TraceReplayWorkload wl(std::move(t));
+  FarMemoryMachine::Options opt;
+  opt.kernel = MageLibConfig();
+  opt.local_mem_ratio = 0.5;
+  FarMemoryMachine m(opt, wl);
+  RunResult r = m.Run();
+  EXPECT_EQ(r.total_ops, 8u * 2000u);
+  EXPECT_GT(r.faults, 500u);  // zipf tail misses under 50% offload
+}
+
+TEST(TraceReplayTest, SameTraceSameResultAcrossSystems) {
+  auto run = [](const KernelConfig& cfg) {
+    Trace t = GenerateMixedTrace(
+        {.wss_pages = 4096, .threads = 4, .accesses_per_thread = 1500}, 0.9, 0.15);
+    TraceReplayWorkload wl(std::move(t));
+    FarMemoryMachine::Options opt;
+    opt.kernel = cfg;
+    opt.local_mem_ratio = 0.6;
+    FarMemoryMachine m(opt, wl);
+    return m.Run().total_ops;
+  };
+  EXPECT_EQ(run(MageLibConfig()), run(HermitConfig()));
+}
+
+}  // namespace
+}  // namespace magesim
