@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_accounting_policies.dir/abl_accounting_policies.cc.o"
+  "CMakeFiles/abl_accounting_policies.dir/abl_accounting_policies.cc.o.d"
+  "abl_accounting_policies"
+  "abl_accounting_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_accounting_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_backends.dir/abl_backends.cc.o"
+  "CMakeFiles/abl_backends.dir/abl_backends.cc.o.d"
+  "abl_backends"
+  "abl_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lazy_tlb.dir/abl_lazy_tlb.cc.o"
+  "CMakeFiles/abl_lazy_tlb.dir/abl_lazy_tlb.cc.o.d"
+  "abl_lazy_tlb"
+  "abl_lazy_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lazy_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_gapbs_offload.dir/fig01_gapbs_offload.cc.o"
+  "CMakeFiles/fig01_gapbs_offload.dir/fig01_gapbs_offload.cc.o.d"
+  "fig01_gapbs_offload"
+  "fig01_gapbs_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_gapbs_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ideal_vs_hermit.dir/fig03_ideal_vs_hermit.cc.o"
+  "CMakeFiles/fig03_ideal_vs_hermit.dir/fig03_ideal_vs_hermit.cc.o.d"
+  "fig03_ideal_vs_hermit"
+  "fig03_ideal_vs_hermit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ideal_vs_hermit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_seqscan_ideal.dir/fig04_seqscan_ideal.cc.o"
+  "CMakeFiles/fig04_seqscan_ideal.dir/fig04_seqscan_ideal.cc.o.d"
+  "fig04_seqscan_ideal"
+  "fig04_seqscan_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_seqscan_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_breakdown_baselines.dir/fig06_breakdown_baselines.cc.o"
+  "CMakeFiles/fig06_breakdown_baselines.dir/fig06_breakdown_baselines.cc.o.d"
+  "fig06_breakdown_baselines"
+  "fig06_breakdown_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_breakdown_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tlb_ipi.dir/fig07_tlb_ipi.cc.o"
+  "CMakeFiles/fig07_tlb_ipi.dir/fig07_tlb_ipi.cc.o.d"
+  "fig07_tlb_ipi"
+  "fig07_tlb_ipi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tlb_ipi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_throughput_offload.dir/fig09_throughput_offload.cc.o"
+  "CMakeFiles/fig09_throughput_offload.dir/fig09_throughput_offload.cc.o.d"
+  "fig09_throughput_offload"
+  "fig09_throughput_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_throughput_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_metis.dir/fig12_metis.cc.o"
+  "CMakeFiles/fig12_metis.dir/fig12_metis.cc.o.d"
+  "fig12_metis"
+  "fig12_metis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_metis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

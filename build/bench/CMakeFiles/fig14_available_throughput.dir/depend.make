@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_available_throughput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_breakdown_mage.dir/fig16_breakdown_mage.cc.o"
+  "CMakeFiles/fig16_breakdown_mage.dir/fig16_breakdown_mage.cc.o.d"
+  "fig16_breakdown_mage"
+  "fig16_breakdown_mage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_breakdown_mage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

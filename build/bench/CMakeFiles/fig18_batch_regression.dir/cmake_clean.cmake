@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_batch_regression.dir/fig18_batch_regression.cc.o"
+  "CMakeFiles/fig18_batch_regression.dir/fig18_batch_regression.cc.o.d"
+  "fig18_batch_regression"
+  "fig18_batch_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_batch_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

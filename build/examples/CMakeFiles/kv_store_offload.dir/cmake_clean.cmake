@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_offload.dir/kv_store_offload.cpp.o"
+  "CMakeFiles/kv_store_offload.dir/kv_store_offload.cpp.o.d"
+  "kv_store_offload"
+  "kv_store_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magesim_cli.dir/magesim_cli.cpp.o"
+  "CMakeFiles/magesim_cli.dir/magesim_cli.cpp.o.d"
+  "magesim_cli"
+  "magesim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

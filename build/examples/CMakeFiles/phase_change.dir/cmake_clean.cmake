@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_change.dir/phase_change.cpp.o"
+  "CMakeFiles/phase_change.dir/phase_change.cpp.o.d"
+  "phase_change"
+  "phase_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accounting/global_lru.cc" "src/CMakeFiles/magesim_accounting.dir/accounting/global_lru.cc.o" "gcc" "src/CMakeFiles/magesim_accounting.dir/accounting/global_lru.cc.o.d"
+  "/root/repo/src/accounting/mglru.cc" "src/CMakeFiles/magesim_accounting.dir/accounting/mglru.cc.o" "gcc" "src/CMakeFiles/magesim_accounting.dir/accounting/mglru.cc.o.d"
+  "/root/repo/src/accounting/partitioned_fifo.cc" "src/CMakeFiles/magesim_accounting.dir/accounting/partitioned_fifo.cc.o" "gcc" "src/CMakeFiles/magesim_accounting.dir/accounting/partitioned_fifo.cc.o.d"
+  "/root/repo/src/accounting/s3fifo.cc" "src/CMakeFiles/magesim_accounting.dir/accounting/s3fifo.cc.o" "gcc" "src/CMakeFiles/magesim_accounting.dir/accounting/s3fifo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/magesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magesim_accounting.dir/accounting/global_lru.cc.o"
+  "CMakeFiles/magesim_accounting.dir/accounting/global_lru.cc.o.d"
+  "CMakeFiles/magesim_accounting.dir/accounting/mglru.cc.o"
+  "CMakeFiles/magesim_accounting.dir/accounting/mglru.cc.o.d"
+  "CMakeFiles/magesim_accounting.dir/accounting/partitioned_fifo.cc.o"
+  "CMakeFiles/magesim_accounting.dir/accounting/partitioned_fifo.cc.o.d"
+  "CMakeFiles/magesim_accounting.dir/accounting/s3fifo.cc.o"
+  "CMakeFiles/magesim_accounting.dir/accounting/s3fifo.cc.o.d"
+  "libmagesim_accounting.a"
+  "libmagesim_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magesim_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

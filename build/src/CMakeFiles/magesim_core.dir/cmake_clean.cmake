@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magesim_core.dir/core/farmem.cc.o"
+  "CMakeFiles/magesim_core.dir/core/farmem.cc.o.d"
+  "CMakeFiles/magesim_core.dir/core/ideal_model.cc.o"
+  "CMakeFiles/magesim_core.dir/core/ideal_model.cc.o.d"
+  "CMakeFiles/magesim_core.dir/core/report.cc.o"
+  "CMakeFiles/magesim_core.dir/core/report.cc.o.d"
+  "libmagesim_core.a"
+  "libmagesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/ipi.cc" "src/CMakeFiles/magesim_hw.dir/hw/ipi.cc.o" "gcc" "src/CMakeFiles/magesim_hw.dir/hw/ipi.cc.o.d"
+  "/root/repo/src/hw/memnode.cc" "src/CMakeFiles/magesim_hw.dir/hw/memnode.cc.o" "gcc" "src/CMakeFiles/magesim_hw.dir/hw/memnode.cc.o.d"
+  "/root/repo/src/hw/rdma.cc" "src/CMakeFiles/magesim_hw.dir/hw/rdma.cc.o" "gcc" "src/CMakeFiles/magesim_hw.dir/hw/rdma.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/CMakeFiles/magesim_hw.dir/hw/topology.cc.o" "gcc" "src/CMakeFiles/magesim_hw.dir/hw/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/magesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

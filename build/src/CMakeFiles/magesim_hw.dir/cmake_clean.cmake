@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magesim_hw.dir/hw/ipi.cc.o"
+  "CMakeFiles/magesim_hw.dir/hw/ipi.cc.o.d"
+  "CMakeFiles/magesim_hw.dir/hw/memnode.cc.o"
+  "CMakeFiles/magesim_hw.dir/hw/memnode.cc.o.d"
+  "CMakeFiles/magesim_hw.dir/hw/rdma.cc.o"
+  "CMakeFiles/magesim_hw.dir/hw/rdma.cc.o.d"
+  "CMakeFiles/magesim_hw.dir/hw/topology.cc.o"
+  "CMakeFiles/magesim_hw.dir/hw/topology.cc.o.d"
+  "libmagesim_hw.a"
+  "libmagesim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magesim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/buddy_allocator.cc" "src/CMakeFiles/magesim_mem.dir/mem/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/magesim_mem.dir/mem/buddy_allocator.cc.o.d"
+  "/root/repo/src/mem/frame_pool.cc" "src/CMakeFiles/magesim_mem.dir/mem/frame_pool.cc.o" "gcc" "src/CMakeFiles/magesim_mem.dir/mem/frame_pool.cc.o.d"
+  "/root/repo/src/mem/multilayer_allocator.cc" "src/CMakeFiles/magesim_mem.dir/mem/multilayer_allocator.cc.o" "gcc" "src/CMakeFiles/magesim_mem.dir/mem/multilayer_allocator.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/magesim_mem.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/magesim_mem.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/percpu_cache.cc" "src/CMakeFiles/magesim_mem.dir/mem/percpu_cache.cc.o" "gcc" "src/CMakeFiles/magesim_mem.dir/mem/percpu_cache.cc.o.d"
+  "/root/repo/src/mem/swap_allocator.cc" "src/CMakeFiles/magesim_mem.dir/mem/swap_allocator.cc.o" "gcc" "src/CMakeFiles/magesim_mem.dir/mem/swap_allocator.cc.o.d"
+  "/root/repo/src/mem/vma.cc" "src/CMakeFiles/magesim_mem.dir/mem/vma.cc.o" "gcc" "src/CMakeFiles/magesim_mem.dir/mem/vma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/magesim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

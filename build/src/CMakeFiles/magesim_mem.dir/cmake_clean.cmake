@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magesim_mem.dir/mem/buddy_allocator.cc.o"
+  "CMakeFiles/magesim_mem.dir/mem/buddy_allocator.cc.o.d"
+  "CMakeFiles/magesim_mem.dir/mem/frame_pool.cc.o"
+  "CMakeFiles/magesim_mem.dir/mem/frame_pool.cc.o.d"
+  "CMakeFiles/magesim_mem.dir/mem/multilayer_allocator.cc.o"
+  "CMakeFiles/magesim_mem.dir/mem/multilayer_allocator.cc.o.d"
+  "CMakeFiles/magesim_mem.dir/mem/page_table.cc.o"
+  "CMakeFiles/magesim_mem.dir/mem/page_table.cc.o.d"
+  "CMakeFiles/magesim_mem.dir/mem/percpu_cache.cc.o"
+  "CMakeFiles/magesim_mem.dir/mem/percpu_cache.cc.o.d"
+  "CMakeFiles/magesim_mem.dir/mem/swap_allocator.cc.o"
+  "CMakeFiles/magesim_mem.dir/mem/swap_allocator.cc.o.d"
+  "CMakeFiles/magesim_mem.dir/mem/vma.cc.o"
+  "CMakeFiles/magesim_mem.dir/mem/vma.cc.o.d"
+  "libmagesim_mem.a"
+  "libmagesim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magesim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

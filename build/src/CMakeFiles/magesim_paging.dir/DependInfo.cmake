@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paging/evictor.cc" "src/CMakeFiles/magesim_paging.dir/paging/evictor.cc.o" "gcc" "src/CMakeFiles/magesim_paging.dir/paging/evictor.cc.o.d"
+  "/root/repo/src/paging/fault_path.cc" "src/CMakeFiles/magesim_paging.dir/paging/fault_path.cc.o" "gcc" "src/CMakeFiles/magesim_paging.dir/paging/fault_path.cc.o.d"
+  "/root/repo/src/paging/kernel.cc" "src/CMakeFiles/magesim_paging.dir/paging/kernel.cc.o" "gcc" "src/CMakeFiles/magesim_paging.dir/paging/kernel.cc.o.d"
+  "/root/repo/src/paging/kernels.cc" "src/CMakeFiles/magesim_paging.dir/paging/kernels.cc.o" "gcc" "src/CMakeFiles/magesim_paging.dir/paging/kernels.cc.o.d"
+  "/root/repo/src/paging/pipelined_evictor.cc" "src/CMakeFiles/magesim_paging.dir/paging/pipelined_evictor.cc.o" "gcc" "src/CMakeFiles/magesim_paging.dir/paging/pipelined_evictor.cc.o.d"
+  "/root/repo/src/paging/prefetcher.cc" "src/CMakeFiles/magesim_paging.dir/paging/prefetcher.cc.o" "gcc" "src/CMakeFiles/magesim_paging.dir/paging/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/magesim_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

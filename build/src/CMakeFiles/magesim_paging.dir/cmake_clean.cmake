@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magesim_paging.dir/paging/evictor.cc.o"
+  "CMakeFiles/magesim_paging.dir/paging/evictor.cc.o.d"
+  "CMakeFiles/magesim_paging.dir/paging/fault_path.cc.o"
+  "CMakeFiles/magesim_paging.dir/paging/fault_path.cc.o.d"
+  "CMakeFiles/magesim_paging.dir/paging/kernel.cc.o"
+  "CMakeFiles/magesim_paging.dir/paging/kernel.cc.o.d"
+  "CMakeFiles/magesim_paging.dir/paging/kernels.cc.o"
+  "CMakeFiles/magesim_paging.dir/paging/kernels.cc.o.d"
+  "CMakeFiles/magesim_paging.dir/paging/pipelined_evictor.cc.o"
+  "CMakeFiles/magesim_paging.dir/paging/pipelined_evictor.cc.o.d"
+  "CMakeFiles/magesim_paging.dir/paging/prefetcher.cc.o"
+  "CMakeFiles/magesim_paging.dir/paging/prefetcher.cc.o.d"
+  "libmagesim_paging.a"
+  "libmagesim_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magesim_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for magesim_paging.
+# This may be replaced when dependencies are built.

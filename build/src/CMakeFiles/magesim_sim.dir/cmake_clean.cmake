@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magesim_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/magesim_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/magesim_sim.dir/sim/random.cc.o"
+  "CMakeFiles/magesim_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/magesim_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/magesim_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/magesim_sim.dir/sim/sync.cc.o"
+  "CMakeFiles/magesim_sim.dir/sim/sync.cc.o.d"
+  "libmagesim_sim.a"
+  "libmagesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

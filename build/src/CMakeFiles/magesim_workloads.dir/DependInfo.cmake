@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dataframe.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/dataframe.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/dataframe.cc.o.d"
+  "/root/repo/src/workloads/gups.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/gups.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/gups.cc.o.d"
+  "/root/repo/src/workloads/kronecker.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/kronecker.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/kronecker.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/memcached.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/memcached.cc.o.d"
+  "/root/repo/src/workloads/metis.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/metis.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/metis.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/pagerank.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/pagerank.cc.o.d"
+  "/root/repo/src/workloads/seqscan.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/seqscan.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/seqscan.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/trace.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/workload.cc.o.d"
+  "/root/repo/src/workloads/xsbench.cc" "src/CMakeFiles/magesim_workloads.dir/workloads/xsbench.cc.o" "gcc" "src/CMakeFiles/magesim_workloads.dir/workloads/xsbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/magesim_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/magesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

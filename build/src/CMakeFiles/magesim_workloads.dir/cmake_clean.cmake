@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magesim_workloads.dir/workloads/dataframe.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/dataframe.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/gups.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/gups.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/kronecker.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/kronecker.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/memcached.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/memcached.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/metis.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/metis.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/pagerank.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/pagerank.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/seqscan.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/seqscan.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/trace.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/trace.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/workload.cc.o.d"
+  "CMakeFiles/magesim_workloads.dir/workloads/xsbench.cc.o"
+  "CMakeFiles/magesim_workloads.dir/workloads/xsbench.cc.o.d"
+  "libmagesim_workloads.a"
+  "libmagesim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magesim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evictor_test.dir/paging/evictor_test.cc.o"
+  "CMakeFiles/evictor_test.dir/paging/evictor_test.cc.o.d"
+  "evictor_test"
+  "evictor_test.pdb"
+  "evictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

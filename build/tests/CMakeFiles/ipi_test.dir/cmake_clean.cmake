@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipi_test.dir/hw/ipi_test.cc.o"
+  "CMakeFiles/ipi_test.dir/hw/ipi_test.cc.o.d"
+  "ipi_test"
+  "ipi_test.pdb"
+  "ipi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_vma_test.dir/mem/swap_vma_test.cc.o"
+  "CMakeFiles/swap_vma_test.dir/mem/swap_vma_test.cc.o.d"
+  "swap_vma_test"
+  "swap_vma_test.pdb"
+  "swap_vma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_vma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/ipi_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/buddy_test[1]_include.cmake")
+include("/root/repo/build/tests/allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/page_table_test[1]_include.cmake")
+include("/root/repo/build/tests/swap_vma_test[1]_include.cmake")
+include("/root/repo/build/tests/accounting_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/evictor_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/policies_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
