@@ -4,6 +4,11 @@
 // MAGESIM_SCALE=0.25..4 multiplies working-set/op counts (default 1), so the
 // full suite finishes in minutes on one host core while remaining faithful in
 // shape. Determinism: all randomness is seeded; same scale => same output.
+//
+// Debugging: set MAGESIM_CHECK_INTERVAL_US=<us> to run every simulation in a
+// harness under the invariant checker (src/check/) at that period, plus a
+// final check when each run drains — no code changes needed. Violations show
+// up in RunResult::invariant_violations; see docs/INTERNALS.md.
 #ifndef MAGESIM_BENCH_BENCH_COMMON_H_
 #define MAGESIM_BENCH_BENCH_COMMON_H_
 

@@ -3,15 +3,27 @@
 //   magesim_cli --workload=pagerank --system=magelib --far=50 [--threads=48]
 //   magesim_cli --workload=trace --trace-file=prod.trc --system=hermit --far=30
 //   magesim_cli --workload=zipf-trace --system=dilos --far=40 --save-trace=out.trc
+//   magesim_cli --workload=seqscan --system=magelib --trace=events.jsonl \
+//               --check-interval=100
 //
 // Workloads: pagerank, xsbench, seqscan, gups, metis, memcached,
 //            zipf-trace, mixed-trace, trace (requires --trace-file).
 // Systems:   ideal, hermit, dilos, magelnx, magelib, fastswap.
+//
+// Debugging:
+//   --trace=path          write every simulation event as JSONL
+//   --trace-chrome=path   write a chrome://tracing / Perfetto JSON timeline
+//   --check-interval=us   run the invariant checker every N simulated µs
+//   --check               run one invariant check after the simulation drains
+// Exit status is nonzero if any invariant violation was detected.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+
+#include "src/check/invariant_checker.h"
+#include "src/trace/trace.h"
 
 #include "src/core/farmem.h"
 #include "src/workloads/gups.h"
@@ -49,6 +61,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: magesim_cli --workload=<name> --system=<name> [--far=<pct>]\n"
                "                   [--threads=N] [--trace-file=path] [--save-trace=path]\n"
+               "                   [--trace=events.jsonl] [--trace-chrome=timeline.json]\n"
+               "                   [--check-interval=us] [--check]\n"
                "workloads: pagerank xsbench seqscan gups metis memcached\n"
                "           zipf-trace mixed-trace trace\n"
                "systems:   ideal hermit dilos magelnx magelib fastswap\n");
@@ -124,6 +138,36 @@ int main(int argc, char** argv) {
   }
   opt.local_mem_ratio = 1.0 - static_cast<double>(far) / 100.0;
   opt.time_limit = 5 * kSecond;  // safety stop for open-ended workloads
+  long check_us = std::atol(Get(args, "check-interval", "0").c_str());
+  if (check_us > 0) opt.check_interval = check_us * kMicrosecond;
+  if (args.count("check") != 0) opt.check_final = true;
+
+  // Install the tracer (if requested) before building the machine so the
+  // checker's recent-event ring registers with it.
+  Tracer tracer;
+  std::unique_ptr<JsonlTraceSink> jsonl;
+  std::unique_ptr<ChromeTraceSink> chrome;
+  std::string trace_path = Get(args, "trace", "");
+  std::string chrome_path = Get(args, "trace-chrome", "");
+  if (!trace_path.empty()) {
+    jsonl = std::make_unique<JsonlTraceSink>(trace_path);
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "cannot open trace output '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    tracer.AddSink(jsonl.get());
+  }
+  if (!chrome_path.empty()) {
+    chrome = std::make_unique<ChromeTraceSink>(chrome_path);
+    if (!chrome->ok()) {
+      std::fprintf(stderr, "cannot open trace output '%s'\n", chrome_path.c_str());
+      return 1;
+    }
+    tracer.AddSink(chrome.get());
+  }
+  if (jsonl != nullptr || chrome != nullptr || opt.check_interval > 0 || opt.check_final) {
+    tracer.Install();
+  }
 
   FarMemoryMachine machine(opt, *wl);
   RunResult r = machine.Run();
@@ -141,5 +185,9 @@ int main(int argc, char** argv) {
               r.nic_write_gbps);
   std::printf("tlb shootdowns  %s (ipis %llu)\n", r.tlb_shootdown_latency.Summary().c_str(),
               static_cast<unsigned long long>(r.ipis_sent));
+  if (machine.checker() != nullptr) {
+    std::printf("%s\n", machine.checker()->Report().c_str());
+    if (r.invariant_violations > 0) return 1;
+  }
   return 0;
 }

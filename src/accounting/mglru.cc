@@ -63,6 +63,7 @@ Task<size_t> MgLru::IsolateBatch(int evictor_id, CoreId core, size_t want,
       continue;
     }
     f->lru_list = -1;
+    f->state = PageFrame::State::kIsolated;
     out->push_back(f);
     ++got;
     ++stats_.isolated;

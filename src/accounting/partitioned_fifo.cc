@@ -84,6 +84,7 @@ Task<size_t> PartitionedFifo::IsolateBatch(int evictor_id, CoreId core, size_t w
         continue;
       }
       f->lru_list = -1;
+      f->state = PageFrame::State::kIsolated;
       out->push_back(f);
       ++got;
       ++stats_.isolated;

@@ -98,6 +98,7 @@ Task<size_t> S3Fifo::IsolateBatch(int evictor_id, CoreId core, size_t want,
       }
     }
     f->lru_list = -1;
+    f->state = PageFrame::State::kIsolated;
     out->push_back(f);
     ++got;
     ++stats_.isolated;

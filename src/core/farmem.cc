@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 namespace magesim {
 
@@ -57,9 +58,28 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
     resident = wss;
   }
   kernel_->Prepopulate(resident);
+
+  // Env override lets any existing harness run checked without code changes.
+  if (const char* env = std::getenv("MAGESIM_CHECK_INTERVAL_US")) {
+    long us = std::atol(env);
+    if (us > 0) options_.check_interval = static_cast<SimTime>(us) * kMicrosecond;
+    options_.check_final = true;
+  }
+  if (options_.check_interval > 0 || options_.check_final) {
+    trace_ring_ = std::make_unique<TraceRingBuffer>(4096);
+    if (Tracer::Get() != nullptr) {
+      Tracer::Get()->AddSink(trace_ring_.get());
+    }
+    checker_ = std::make_unique<InvariantChecker>(
+        *kernel_, Tracer::Get() != nullptr ? trace_ring_.get() : nullptr);
+  }
 }
 
-FarMemoryMachine::~FarMemoryMachine() = default;
+FarMemoryMachine::~FarMemoryMachine() {
+  if (trace_ring_ != nullptr && Tracer::Get() != nullptr) {
+    Tracer::Get()->RemoveSink(trace_ring_.get());
+  }
+}
 
 Task<> FarMemoryMachine::RunThread(int tid) {
   co_await workload_.ThreadBody(*threads_[static_cast<size_t>(tid)], tid);
@@ -105,8 +125,14 @@ RunResult FarMemoryMachine::Run() {
     engine_->Spawn(WarmupResetTask(*kernel_, *nic_, *tlb_, options_.stats_warmup));
   }
   kernel_->Start(threads);
+  if (checker_ != nullptr && options_.check_interval > 0) {
+    engine_->Spawn(checker_->PeriodicMain(options_.check_interval));
+  }
 
   engine_->Run();
+  if (checker_ != nullptr) {
+    checker_->CheckNow();  // quiescent-state check after the queue drains
+  }
   if (end_time_ == 0) {
     end_time_ = engine_->now();  // threads parked (e.g. queue servers): use drain time
   }
@@ -142,6 +168,13 @@ RunResult FarMemoryMachine::Run() {
   r.accounting_lock = kernel_->accounting_lock_stats();
   for (int c = 0; c < topo_->num_cores(); ++c) {
     r.faults_per_core.push_back(kernel_->FaultsOnCore(c));
+  }
+  if (checker_ != nullptr) {
+    r.invariant_checks = checker_->checks_run();
+    r.invariant_violations = checker_->total_violations();
+    if (!checker_->violations().empty()) {
+      r.first_violation = checker_->violations().front().message;
+    }
   }
   return r;
 }

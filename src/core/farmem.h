@@ -13,11 +13,14 @@
 #define MAGESIM_CORE_FARMEM_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/check/invariant_checker.h"
 #include "src/hw/memnode.h"
 #include "src/paging/kernel.h"
 #include "src/paging/kernels.h"
+#include "src/trace/trace.h"
 #include "src/workloads/workload.h"
 
 namespace magesim {
@@ -55,6 +58,11 @@ struct RunResult {
 
   // Per-core major fault counts (input to the analytic ideal model).
   std::vector<uint64_t> faults_per_core;
+
+  // Invariant checking (when Options::check_interval / check_final enabled).
+  uint64_t invariant_checks = 0;
+  uint64_t invariant_violations = 0;
+  std::string first_violation;  // empty when clean
 };
 
 class FarMemoryMachine {
@@ -74,6 +82,13 @@ class FarMemoryMachine {
     // (fault counts, latency histograms, NIC/TLB stats): steady-state
     // measurement for open-ended workloads.
     SimTime stats_warmup = 0;
+    // Run the invariant checker every `check_interval` ns of simulated time
+    // (0 = no periodic checks). The MAGESIM_CHECK_INTERVAL_US environment
+    // variable, when set, overrides this — so every existing harness can be
+    // re-run checked without code changes.
+    SimTime check_interval = 0;
+    // Run one final check after the simulation drains.
+    bool check_final = false;
   };
 
   FarMemoryMachine(Options options, Workload& workload);
@@ -88,6 +103,8 @@ class FarMemoryMachine {
   RdmaNic& nic() { return *nic_; }
   Workload& workload() { return workload_; }
   const std::vector<std::unique_ptr<AppThread>>& threads() const { return threads_; }
+  // Null unless checking was enabled via Options or MAGESIM_CHECK_INTERVAL_US.
+  InvariantChecker* checker() { return checker_.get(); }
 
  private:
   Task<> RunThread(int tid);
@@ -101,6 +118,10 @@ class FarMemoryMachine {
   std::unique_ptr<RdmaNic> nic_;
   std::unique_ptr<MemoryNode> memnode_;
   std::unique_ptr<Kernel> kernel_;
+  // Recent-event window feeding violation reports; registered with the
+  // installed Tracer (if any) for the duration of the run.
+  std::unique_ptr<TraceRingBuffer> trace_ring_;
+  std::unique_ptr<InvariantChecker> checker_;
   std::vector<std::unique_ptr<AppThread>> threads_;
   WaitGroup wg_;
   SimTime end_time_ = 0;

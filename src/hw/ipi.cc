@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/trace.h"
+
 namespace magesim {
 
 TlbShootdownManager::TlbShootdownManager(Topology& topo) : topo_(topo) {
@@ -36,7 +38,10 @@ Task<> TlbShootdownManager::DeliverIpi(CoreId target, int num_pages, SimTime sen
     c.CountInterrupt();
     c.AddStolenTime(cost);
   }
-  ipi_latency_.Record(Engine::current().now() - send_time);
+  SimTime elapsed = Engine::current().now() - send_time;
+  ipi_latency_.Record(elapsed);
+  TraceEmit(TraceEventType::kIpiAck, target, kTraceNoPage, kTraceNoFrame,
+            static_cast<uint64_t>(elapsed));
   op->Ack();
 }
 
@@ -44,6 +49,8 @@ Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, 
   const MachineParams& p = topo_.params();
   Engine& eng = Engine::current();
   ++shootdowns_;
+  TraceEmit(TraceEventType::kShootdownBegin, initiator, kTraceNoPage, kTraceNoFrame,
+            static_cast<uint64_t>(num_pages));
 
   // Local flush on the initiating core.
   SimTime local = (num_pages >= p.full_flush_threshold)
@@ -55,7 +62,7 @@ Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, 
   for (CoreId t : targets_) {
     if (t != initiator) ++remote_targets;
   }
-  auto op = std::make_shared<ShootdownOp>(remote_targets, eng.now());
+  auto op = std::make_shared<ShootdownOp>(remote_targets, eng.now(), initiator);
   if (remote_targets == 0) {
     co_return op;
   }
@@ -76,7 +83,10 @@ Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, 
 
 Task<> TlbShootdownManager::Finish(std::shared_ptr<ShootdownOp> op) {
   co_await op->Wait();
-  shootdown_latency_.Record(Engine::current().now() - op->start());
+  SimTime elapsed = Engine::current().now() - op->start();
+  shootdown_latency_.Record(elapsed);
+  TraceEmit(TraceEventType::kShootdownDone, op->initiator(), kTraceNoPage, kTraceNoFrame,
+            static_cast<uint64_t>(elapsed));
 }
 
 Task<> TlbShootdownManager::Shootdown(CoreId initiator, int num_pages) {

@@ -25,17 +25,19 @@ namespace magesim {
 // and acknowledged.
 class ShootdownOp {
  public:
-  ShootdownOp(int num_targets, SimTime start)
-      : latch_(num_targets), start_(start) {}
+  ShootdownOp(int num_targets, SimTime start, CoreId initiator)
+      : latch_(num_targets), start_(start), initiator_(initiator) {}
 
   SimEvent::Awaiter Wait() { return latch_.Wait(); }
   void Ack() { latch_.CountDown(); }
   SimTime start() const { return start_; }
+  CoreId initiator() const { return initiator_; }
   bool done() const { return latch_.count() == 0; }
 
  private:
   CountdownLatch latch_;
   SimTime start_;
+  CoreId initiator_;
 };
 
 class TlbShootdownManager {

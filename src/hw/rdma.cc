@@ -6,8 +6,10 @@ namespace magesim {
 
 RdmaNic::RdmaNic(const MachineParams& params) : params_(params) {}
 
-Task<> RdmaNic::SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when) {
+Task<> RdmaNic::SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when,
+                         TraceEventType done_ev, SimTime op_latency) {
   co_await Delay{when - Engine::current().now()};
+  TraceEmit(done_ev, -1, kTraceNoPage, kTraceNoFrame, static_cast<uint64_t>(op_latency));
   c->Signal();
 }
 
@@ -24,7 +26,7 @@ void RdmaNic::InjectBrownout(SimTime from, SimTime until, double bandwidth_facto
 }
 
 std::shared_ptr<RdmaCompletion> RdmaNic::Post(Channel& ch, uint64_t bytes, Histogram& lat,
-                                              Histogram* queueing) {
+                                              Histogram* queueing, TraceEventType done_ev) {
   Engine& eng = Engine::current();
   SimTime now = eng.now();
   double rate = params_.nic_gbps;
@@ -44,20 +46,22 @@ std::shared_ptr<RdmaCompletion> RdmaNic::Post(Channel& ch, uint64_t bytes, Histo
     queueing->Record(start - now);
   }
   auto c = std::make_shared<RdmaCompletion>(completes);
-  eng.Spawn(SignalAt(c, completes));
+  eng.Spawn(SignalAt(c, completes, done_ev, completes - now));
   return c;
 }
 
 std::shared_ptr<RdmaCompletion> RdmaNic::PostRead(uint64_t bytes) {
   bytes_read_ += bytes;
   ++reads_posted_;
-  return Post(read_ch_, bytes, read_latency_, &read_queueing_);
+  TraceEmit(TraceEventType::kRdmaReadPost, -1, kTraceNoPage, kTraceNoFrame, bytes);
+  return Post(read_ch_, bytes, read_latency_, &read_queueing_, TraceEventType::kRdmaReadDone);
 }
 
 std::shared_ptr<RdmaCompletion> RdmaNic::PostWrite(uint64_t bytes) {
   bytes_written_ += bytes;
   ++writes_posted_;
-  return Post(write_ch_, bytes, write_latency_, nullptr);
+  TraceEmit(TraceEventType::kRdmaWritePost, -1, kTraceNoPage, kTraceNoFrame, bytes);
+  return Post(write_ch_, bytes, write_latency_, nullptr, TraceEventType::kRdmaWriteDone);
 }
 
 Task<> RdmaNic::Read(uint64_t bytes) {

@@ -16,6 +16,7 @@
 #include "src/sim/stats.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/trace/trace.h"
 
 namespace magesim {
 
@@ -93,8 +94,9 @@ class RdmaNic {
   const Brownout* ActiveBrownout(SimTime now) const;
 
   std::shared_ptr<RdmaCompletion> Post(Channel& ch, uint64_t bytes, Histogram& lat,
-                                       Histogram* queueing);
-  static Task<> SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when);
+                                       Histogram* queueing, TraceEventType done_ev);
+  static Task<> SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when,
+                         TraceEventType done_ev, SimTime op_latency);
 
   MachineParams params_;
   std::vector<Brownout> brownouts_;

@@ -100,6 +100,16 @@ uint64_t BuddyAllocator::FreeListSize(int order) const {
   return free_lists_[static_cast<size_t>(order)].size();
 }
 
+std::vector<std::pair<uint32_t, int>> BuddyAllocator::FreeBlocks() const {
+  std::vector<std::pair<uint32_t, int>> out;
+  for (int o = 0; o <= kMaxOrder; ++o) {
+    for (uint32_t pfn : free_lists_[static_cast<size_t>(o)]) {
+      out.emplace_back(pfn, o);
+    }
+  }
+  return out;
+}
+
 bool BuddyAllocator::CheckConsistency() const {
   uint64_t counted = 0;
   std::vector<bool> covered(num_frames_, false);

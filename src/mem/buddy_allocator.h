@@ -6,6 +6,7 @@
 #define MAGESIM_MEM_BUDDY_ALLOCATOR_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/mem/frame_pool.h"
@@ -41,6 +42,10 @@ class BuddyAllocator {
   // Validates internal invariants (no overlapping free blocks, counts match);
   // used by tests. Returns true when consistent.
   bool CheckConsistency() const;
+
+  // Every free block as a (start pfn, order) pair; used by the invariant
+  // checker's ownership census and coalescing check.
+  std::vector<std::pair<uint32_t, int>> FreeBlocks() const;
 
  private:
   uint32_t BuddyOf(uint32_t pfn, int order) const { return pfn ^ (1u << order); }

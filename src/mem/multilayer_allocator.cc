@@ -91,4 +91,11 @@ Task<> MultilayerAllocator::FreeBatch(CoreId core, const std::vector<PageFrame*>
   }
 }
 
+void MultilayerAllocator::AppendCached(std::vector<PageFrame*>* out) const {
+  for (const auto& cache : caches_) {
+    out->insert(out->end(), cache.begin(), cache.end());
+  }
+  out->insert(out->end(), shared_queue_.begin(), shared_queue_.end());
+}
+
 }  // namespace magesim

@@ -32,6 +32,7 @@ class MultilayerAllocator : public PageAllocator {
   }
   const LockStats& lock_stats() const override { return queue_lock_.stats(); }
   const LockStats& buddy_lock_stats() const { return buddy_lock_.stats(); }
+  void AppendCached(std::vector<PageFrame*>* out) const override;
 
   size_t shared_queue_size() const { return shared_queue_.size(); }
   size_t CoreCacheSize(CoreId core) const { return caches_[static_cast<size_t>(core)].size(); }

@@ -53,6 +53,11 @@ class PageAllocator {
   // Contention on the allocator's shared lock(s).
   virtual const LockStats& lock_stats() const = 0;
 
+  // Appends every frame currently parked in this allocator's caches/queues
+  // (i.e. free-for-reuse but invisible to the buddy allocator). Used by the
+  // invariant checker's frame-ownership census; zero simulated cost.
+  virtual void AppendCached(std::vector<PageFrame*>* out) const {}
+
   // Cumulative simulated time spent inside Alloc() across all callers
   // (the "mem circulation" component of the fault-latency breakdowns).
   SimTime alloc_time_total() const { return alloc_time_total_; }

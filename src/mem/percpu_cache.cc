@@ -72,6 +72,12 @@ Task<> PcpAllocator::FreeBatch(CoreId core, const std::vector<PageFrame*>& frame
   }
 }
 
+void PcpAllocator::AppendCached(std::vector<PageFrame*>* out) const {
+  for (const auto& cache : caches_) {
+    out->insert(out->end(), cache.begin(), cache.end());
+  }
+}
+
 GlobalMutexAllocator::GlobalMutexAllocator(BuddyAllocator& buddy, AllocatorCosts costs)
     : buddy_(buddy), costs_(costs) {}
 

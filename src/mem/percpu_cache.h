@@ -22,6 +22,7 @@ class PcpAllocator : public PageAllocator {
   Task<> FreeBatch(CoreId core, const std::vector<PageFrame*>& frames) override;
   uint64_t global_free_pages() const override { return buddy_.free_pages(); }
   const LockStats& lock_stats() const override { return buddy_lock_.stats(); }
+  void AppendCached(std::vector<PageFrame*>* out) const override;
 
   size_t CacheSize(CoreId core) const { return caches_[static_cast<size_t>(core)].size(); }
 

@@ -4,6 +4,7 @@
 #include "src/paging/kernel.h"
 #include "src/paging/prefetcher.h"
 #include "src/sim/engine.h"
+#include "src/trace/trace.h"
 
 namespace magesim {
 
@@ -19,15 +20,19 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     Pte& pte = pt_->At(vpn);
     if (pte.present) co_return;
     if (!pt_->TryBeginFault(vpn)) {
+      TraceEmit(TraceEventType::kFaultDedup, core, vpn);
       co_await pt_->WaitForFault(vpn);
       stats_.fault_latency.Record(eng.now() - t0);
       co_return;
     }
     ++stats_.faults;
+    TraceEmit(TraceEventType::kFaultStart, core, vpn, kTraceNoFrame, write ? 1 : 0);
     PageFrame* f = co_await AllocWithPressure(core, vpn);
     assert(f != nullptr);
+    TraceEmit(TraceEventType::kFrameAlloc, core, vpn, f->pfn);
     co_await nic_.Read(kPageSize);
     pt_->Map(vpn, f);
+    TraceEmit(TraceEventType::kPageMap, core, vpn, f->pfn);
     if (write) {
       pt_->At(vpn).dirty = true;
       remote_valid_[vpn] = false;
@@ -35,6 +40,8 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     ideal_fifo_.push_back(vpn);
     pt_->EndFault(vpn);
     stats_.fault_latency.Record(eng.now() - t0);
+    TraceEmit(TraceEventType::kFaultEnd, core, vpn, f->pfn,
+              static_cast<uint64_t>(eng.now() - t0));
     co_return;
   }
 
@@ -62,11 +69,13 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     // Fault dedup via the unified page table / swap cache: wait for the
     // in-flight fault instead of issuing a duplicate read.
     ++stats_.dedup_waits;
+    TraceEmit(TraceEventType::kFaultDedup, core, vpn);
     co_await pt_->WaitForFault(vpn);
     stats_.fault_latency.Record(eng.now() - t0);
     co_return;
   }
   ++stats_.faults;
+  TraceEmit(TraceEventType::kFaultStart, core, vpn, kTraceNoFrame, write ? 1 : 0);
 
   // --- Serialized mm bookkeeping (page-table lock, rmap, cgroup: Linux) ---
   if (config_.mm_locks_cs_ns > 0) {
@@ -80,6 +89,7 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
   SimTime a0 = eng.now();
   PageFrame* frame = co_await AllocWithPressure(core, vpn);
   assert(frame != nullptr);
+  TraceEmit(TraceEventType::kFrameAlloc, core, vpn, frame->pfn);
   stats_.fault_breakdown.Add("alloc", eng.now() - a0);
 
   // --- FP2: RDMA read of the page ---
@@ -105,6 +115,7 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
   // --- Install the mapping ---
   co_await Delay{hw.pte_update_ns};
   pt_->Map(vpn, frame);
+  TraceEmit(TraceEventType::kPageMap, core, vpn, frame->pfn);
   if (write) {
     pte.dirty = true;
     remote_valid_[vpn] = false;
@@ -118,6 +129,8 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
 
   pt_->EndFault(vpn);
   stats_.fault_latency.Record(eng.now() - t0);
+  TraceEmit(TraceEventType::kFaultEnd, core, vpn, frame->pfn,
+            static_cast<uint64_t>(eng.now() - t0));
 
   if (prefetcher_ != nullptr) {
     prefetcher_->OnFault(core, vpn);

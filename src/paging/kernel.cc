@@ -9,6 +9,7 @@
 #include "src/accounting/s3fifo.h"
 #include "src/paging/prefetcher.h"
 #include "src/sim/engine.h"
+#include "src/trace/trace.h"
 
 namespace magesim {
 
@@ -172,7 +173,9 @@ void Kernel::InstantReclaim(uint64_t vpn) {
   PageFrame* f = pt_->Unmap(vpn);
   accounting_->Unlink(f);
   remote_valid_[vpn] = true;  // emulates a completed pageout
-  buddy_->FreePage(f);        // resets state/vpn/dirty
+  TraceEmit(TraceEventType::kPageUnmap, -1, vpn, f->pfn);
+  TraceEmit(TraceEventType::kFrameFree, -1, vpn, f->pfn);
+  buddy_->FreePage(f);  // resets state/vpn/dirty
 }
 
 void Kernel::IdealReclaimOne() {
@@ -228,19 +231,27 @@ Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
     }
     ++stats_.free_page_waits;
     SimTime w0 = Engine::current().now();
+    TraceEmit(TraceEventType::kFreeWaitStart, core, vpn);
     free_pages_available_.Reset();
     co_await free_pages_available_.Wait();
-    stats_.free_wait_time_total += Engine::current().now() - w0;
+    SimTime waited = Engine::current().now() - w0;
+    stats_.free_wait_time_total += waited;
+    TraceEmit(TraceEventType::kFreeWaitEnd, core, vpn, kTraceNoFrame,
+              static_cast<uint64_t>(waited));
   }
 }
 
 Task<> Kernel::SyncEvict(CoreId core) {
   SimTime t0 = Engine::current().now();
   ++stats_.sync_evictions;
+  TraceEmit(TraceEventType::kSyncEvictStart, core);
   co_await EvictBatchSequential(/*evictor_id=*/core % std::max(config_.num_evictors, 1), core,
                                 static_cast<size_t>(config_.sync_evict_batch),
                                 &stats_.fault_breakdown);
-  stats_.sync_evict_latency.Record(Engine::current().now() - t0);
+  SimTime elapsed = Engine::current().now() - t0;
+  stats_.sync_evict_latency.Record(elapsed);
+  TraceEmit(TraceEventType::kSyncEvictEnd, core, kTraceNoPage, kTraceNoFrame,
+            static_cast<uint64_t>(elapsed));
 }
 
 Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
@@ -257,6 +268,7 @@ Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
     uint64_t vpn = f->vpn;
     co_await Delay{hw.pte_update_ns + config_.evict_page_cost_ns};
     pt_->Unmap(vpn);  // transfers the dirty bit onto the frame
+    TraceEmit(TraceEventType::kPageUnmap, evictor_id, vpn, f->pfn);
     if (swap_ != nullptr) {
       // EP3: allocate remote swap space under the global swap lock.
       Pte& pte = pt_->At(vpn);
@@ -290,6 +302,7 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
   victims.reserve(batch);
   size_t got = co_await PrepareVictims(evictor_id, core, batch, &victims, sync_attr);
   if (got == 0) co_return 0;
+  TraceEmit(TraceEventType::kEvictBatchStart, evictor_id, kTraceNoPage, kTraceNoFrame, got);
 
   // EP2: invalidate victim translations everywhere — or, in lazy-TLB mode,
   // wait for the next reconciliation tick instead of sending IPIs.
@@ -314,10 +327,16 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
   }
 
   // Reclaim frames into the allocator and release waiting fault paths.
+  if (Tracer::Get() != nullptr) {
+    for (PageFrame* f : victims) {
+      TraceEmit(TraceEventType::kFrameFree, evictor_id, f->vpn, f->pfn);
+    }
+  }
   co_await allocator_->FreeBatch(core, victims);
   stats_.evicted_pages += got;
   ++stats_.eviction_batches;
   free_pages_available_.Set();
+  TraceEmit(TraceEventType::kEvictBatchEnd, evictor_id, kTraceNoPage, kTraceNoFrame, got);
   co_return got;
 }
 

@@ -99,6 +99,9 @@ class Kernel {
   PageTable& page_table() { return *pt_; }
   PageAccounting& accounting() { return *accounting_; }
   PageAllocator& allocator() { return *allocator_; }
+  BuddyAllocator& buddy() { return *buddy_; }
+  FramePool& frame_pool() { return *frames_; }
+  bool remote_valid(uint64_t vpn) const { return remote_valid_[vpn]; }
   RdmaNic& nic() { return nic_; }
   Topology& topology() { return topo_; }
   TlbShootdownManager& tlb() { return tlb_; }

@@ -11,6 +11,7 @@
 
 #include "src/paging/kernel.h"
 #include "src/sim/engine.h"
+#include "src/trace/trace.h"
 
 namespace magesim {
 
@@ -38,6 +39,10 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       co_await PrepareVictims(evictor_id, core, static_cast<size_t>(config_.evict_batch_pages),
                               &cur.victims);
       pending_reclaims_ += cur.victims.size();
+      if (!cur.victims.empty()) {
+        TraceEmit(TraceEventType::kEvictBatchStart, evictor_id, kTraceNoPage, kTraceNoFrame,
+                  cur.victims.size());
+      }
     }
 
     // Stage 2: wait for the *previous* batch's TLB ACKs (normally already
@@ -61,11 +66,18 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       if (prevprev->write_completion != nullptr) {
         co_await prevprev->write_completion->Wait();
       }
+      if (Tracer::Get() != nullptr) {
+        for (PageFrame* f : prevprev->victims) {
+          TraceEmit(TraceEventType::kFrameFree, evictor_id, f->vpn, f->pfn);
+        }
+      }
       co_await allocator_->FreeBatch(core, prevprev->victims);
       pending_reclaims_ -= prevprev->victims.size();
       stats_.evicted_pages += prevprev->victims.size();
       ++stats_.eviction_batches;
       free_pages_available_.Set();
+      TraceEmit(TraceEventType::kEvictBatchEnd, evictor_id, kTraceNoPage, kTraceNoFrame,
+                prevprev->victims.size());
       prevprev.reset();
     }
     if (prev.has_value()) {

@@ -4,6 +4,7 @@
 
 #include "src/paging/kernel.h"
 #include "src/sim/engine.h"
+#include "src/trace/trace.h"
 
 namespace magesim {
 
@@ -92,13 +93,16 @@ Task<> Prefetcher::PrefetchRange(CoreId core, uint64_t start_vpn, int64_t stride
     Pte& pte = k.page_table().At(vpn);
     if (pte.present || !k.page_table().TryBeginFault(vpn)) continue;
     ++issued_;
+    TraceEmit(TraceEventType::kPrefetchIssue, core, vpn);
     // Prefetch shares the fault path's allocation policy: under Hermit-style
     // configs it can therefore trigger synchronous eviction, which is exactly
     // how prefetching backfires for those systems (§6.2).
     PageFrame* frame = co_await k.AllocWithPressure(core, vpn);
+    TraceEmit(TraceEventType::kFrameAlloc, core, vpn, frame->pfn);
     co_await k.nic().Read(kPageSize);
     co_await Delay{k.topology().params().pte_update_ns};
     k.page_table().Map(vpn, frame);
+    TraceEmit(TraceEventType::kPageMap, core, vpn, frame->pfn);
     // Speculative: not a real reference yet.
     k.page_table().At(vpn).accessed = false;
     k.prefetched_[vpn] = true;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdio>
+#include <limits>
 
 namespace magesim {
 
@@ -25,7 +26,13 @@ int64_t Histogram::BucketUpperBound(int bucket, int sub) {
   int log2 = bucket + 3;
   int shift = log2 - 4;
   uint64_t base = 1ULL << log2;
-  return static_cast<int64_t>(base + (static_cast<uint64_t>(sub + 1) << shift) - 1);
+  // The top bucket's upper bound overflows int64_t (base 2^63); saturate so
+  // Percentile never returns a negative value for INT64_MAX-range samples.
+  uint64_t bound = base + (static_cast<uint64_t>(sub + 1) << shift) - 1;
+  if (bound > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(bound);
 }
 
 void Histogram::Record(int64_t value) { RecordN(value, 1); }
@@ -35,7 +42,11 @@ void Histogram::RecordN(int64_t value, uint64_t n) {
   if (count_ == 0 || value < min_) min_ = value;
   if (value > max_) max_ = value;
   count_ += n;
-  sum_ += value * static_cast<int64_t>(n);
+  // Accumulate in uint64_t: INT64_MAX-range samples would otherwise be
+  // signed overflow (UB). Wraparound keeps bit-identical sums for the
+  // non-overflowing case.
+  sum_ = static_cast<int64_t>(static_cast<uint64_t>(sum_) +
+                              static_cast<uint64_t>(value) * n);
   int sub = 0;
   int bucket = BucketFor(value, &sub);
   buckets_[bucket][sub] += n;

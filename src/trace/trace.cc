@@ -1,0 +1,239 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/sim/engine.h"
+
+namespace magesim {
+
+Tracer* Tracer::current_ = nullptr;
+
+const char* TraceEventName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kFaultStart: return "fault_start";
+    case TraceEventType::kFaultEnd: return "fault_end";
+    case TraceEventType::kFaultDedup: return "fault_dedup";
+    case TraceEventType::kPageMap: return "page_map";
+    case TraceEventType::kPageUnmap: return "page_unmap";
+    case TraceEventType::kFrameAlloc: return "frame_alloc";
+    case TraceEventType::kFrameFree: return "frame_free";
+    case TraceEventType::kEvictBatchStart: return "evict_batch_start";
+    case TraceEventType::kEvictBatchEnd: return "evict_batch_end";
+    case TraceEventType::kSyncEvictStart: return "sync_evict_start";
+    case TraceEventType::kSyncEvictEnd: return "sync_evict_end";
+    case TraceEventType::kShootdownBegin: return "shootdown_begin";
+    case TraceEventType::kIpiAck: return "ipi_ack";
+    case TraceEventType::kShootdownDone: return "shootdown_done";
+    case TraceEventType::kRdmaReadPost: return "rdma_read_post";
+    case TraceEventType::kRdmaReadDone: return "rdma_read_done";
+    case TraceEventType::kRdmaWritePost: return "rdma_write_post";
+    case TraceEventType::kRdmaWriteDone: return "rdma_write_done";
+    case TraceEventType::kFreeWaitStart: return "free_wait_start";
+    case TraceEventType::kFreeWaitEnd: return "free_wait_end";
+    case TraceEventType::kPrefetchIssue: return "prefetch_issue";
+    case TraceEventType::kNumTypes: break;
+  }
+  return "unknown";
+}
+
+std::string FormatTraceEvent(const TraceEvent& e) {
+  char buf[160];
+  int n = std::snprintf(buf, sizeof(buf), "[%.3fus] %s", NsToUs(e.t),
+                        TraceEventName(e.type));
+  auto append = [&](const char* fmt, uint64_t v) {
+    if (n < static_cast<int>(sizeof(buf))) {
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n), fmt, v);
+    }
+  };
+  if (e.actor >= 0) append(" actor=%" PRIu64, static_cast<uint64_t>(e.actor));
+  if (e.page != kTraceNoPage) append(" page=%" PRIu64, e.page);
+  if (e.frame != kTraceNoFrame) append(" frame=%" PRIu64, e.frame);
+  append(" arg=%" PRIu64, e.arg);
+  return std::string(buf, static_cast<size_t>(std::min<int>(n, sizeof(buf) - 1)));
+}
+
+// --- TraceRingBuffer ---
+
+TraceRingBuffer::TraceRingBuffer(size_t capacity) : buf_(std::max<size_t>(capacity, 1)) {}
+
+void TraceRingBuffer::OnEvent(const TraceEvent& e) {
+  buf_[head_] = e;
+  head_ = (head_ + 1) % buf_.size();
+  if (size_ < buf_.size()) ++size_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRingBuffer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  size_t start = (head_ + buf_.size() - size_) % buf_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRingBuffer::LastTouching(uint64_t page, uint64_t frame,
+                                                      size_t max) const {
+  std::vector<TraceEvent> out;
+  size_t start = (head_ + buf_.size() - size_) % buf_.size();
+  for (size_t i = size_; i-- > 0 && out.size() < max;) {
+    const TraceEvent& e = buf_[(start + i) % buf_.size()];
+    bool page_hit = page != kTraceNoPage && e.page == page;
+    bool frame_hit = frame != kTraceNoFrame && e.frame == frame;
+    if (page_hit || frame_hit) out.push_back(e);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+// --- JsonlTraceSink ---
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path) {}
+
+JsonlTraceSink::~JsonlTraceSink() { Flush(); }
+
+void JsonlTraceSink::OnEvent(const TraceEvent& e) {
+  char buf[224];
+  int n = std::snprintf(buf, sizeof(buf), "{\"t\":%" PRId64 ",\"ev\":\"%s\"",
+                        static_cast<int64_t>(e.t), TraceEventName(e.type));
+  auto append = [&](const char* fmt, uint64_t v) {
+    if (n < static_cast<int>(sizeof(buf))) {
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n), fmt, v);
+    }
+  };
+  if (e.actor >= 0) append(",\"actor\":%" PRIu64, static_cast<uint64_t>(e.actor));
+  if (e.page != kTraceNoPage) append(",\"page\":%" PRIu64, e.page);
+  if (e.frame != kTraceNoFrame) append(",\"frame\":%" PRIu64, e.frame);
+  append(",\"arg\":%" PRIu64, e.arg);
+  out_ << buf << "}\n";
+}
+
+void JsonlTraceSink::Flush() { out_.flush(); }
+
+// --- ChromeTraceSink ---
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path) : out_(path) {
+  out_ << "[";
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  out_ << "\n]\n";
+  Flush();
+}
+
+void ChromeTraceSink::Emit(const TraceEvent& e, char phase, const char* name, int tid) {
+  if (!first_) out_ << ",";
+  first_ = false;
+  // trace_event timestamps are in microseconds; keep sub-us resolution.
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "\n{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"
+                "\"args\":{\"page\":%" PRId64 ",\"frame\":%" PRId64 ",\"arg\":%" PRIu64 "}}",
+                name, phase, NsToUs(e.t), tid,
+                e.page == kTraceNoPage ? -1 : static_cast<int64_t>(e.page),
+                e.frame == kTraceNoFrame ? -1 : static_cast<int64_t>(e.frame), e.arg);
+  out_ << buf;
+}
+
+void ChromeTraceSink::OnEvent(const TraceEvent& e) {
+  int tid = e.actor >= 0 ? e.actor : 999;  // 999 = un-attributed (NIC channels)
+  switch (e.type) {
+    case TraceEventType::kFaultStart: Emit(e, 'B', "fault", tid); return;
+    case TraceEventType::kFaultEnd: Emit(e, 'E', "fault", tid); return;
+    case TraceEventType::kSyncEvictStart: Emit(e, 'B', "sync_evict", tid); return;
+    case TraceEventType::kSyncEvictEnd: Emit(e, 'E', "sync_evict", tid); return;
+    case TraceEventType::kShootdownBegin: Emit(e, 'B', "shootdown", tid); return;
+    case TraceEventType::kShootdownDone: Emit(e, 'E', "shootdown", tid); return;
+    case TraceEventType::kFreeWaitStart: Emit(e, 'B', "free_wait", tid); return;
+    case TraceEventType::kFreeWaitEnd: Emit(e, 'E', "free_wait", tid); return;
+    default: Emit(e, 'i', TraceEventName(e.type), tid); return;
+  }
+}
+
+void ChromeTraceSink::Flush() { out_.flush(); }
+
+// --- TraceHashSink ---
+
+namespace {
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+}  // namespace
+
+TraceHashSink::TraceHashSink() : hash_(kFnvOffset) {}
+
+void TraceHashSink::Mix(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xff;
+    hash_ *= kFnvPrime;
+  }
+}
+
+void TraceHashSink::OnEvent(const TraceEvent& e) {
+  Mix(static_cast<uint64_t>(e.t));
+  Mix(static_cast<uint64_t>(e.type));
+  Mix(static_cast<uint64_t>(static_cast<int64_t>(e.actor)));
+  Mix(e.page);
+  Mix(e.frame);
+  Mix(e.arg);
+  ++total_;
+  ++counts_[static_cast<size_t>(e.type)];
+}
+
+std::string TraceHashSink::Summary() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "hash=%016" PRIx64 " total=%" PRIu64, hash_, total_);
+  std::string s = buf;
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    if (counts_[static_cast<size_t>(i)] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "\n%s=%" PRIu64,
+                  TraceEventName(static_cast<TraceEventType>(i)),
+                  counts_[static_cast<size_t>(i)]);
+    s += buf;
+  }
+  return s;
+}
+
+// --- Tracer ---
+
+Tracer::~Tracer() { Uninstall(); }
+
+void Tracer::AddSink(TraceSink* sink) { sinks_.push_back(sink); }
+
+void Tracer::RemoveSink(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void Tracer::Install() {
+  assert(current_ == nullptr || current_ == this);
+  current_ = this;
+}
+
+void Tracer::Uninstall() {
+  if (current_ == this) current_ = nullptr;
+}
+
+void Tracer::Emit(const TraceEvent& e) {
+  for (TraceSink* s : sinks_) s->OnEvent(e);
+}
+
+void Tracer::Flush() {
+  for (TraceSink* s : sinks_) s->Flush();
+}
+
+void TraceEmitSlow(TraceEventType type, int32_t actor, uint64_t page, uint64_t frame,
+                   uint64_t arg) {
+  TraceEvent e;
+  e.t = Engine::current().now();
+  e.type = type;
+  e.actor = actor;
+  e.page = page;
+  e.frame = frame;
+  e.arg = arg;
+  Tracer::Get()->Emit(e);
+}
+
+}  // namespace magesim

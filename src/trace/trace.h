@@ -1,0 +1,206 @@
+// Structured event tracing for the simulation.
+//
+// The paging/hw layers emit typed events (fault lifecycle, eviction batches,
+// TLB shootdowns, RDMA ops, frame circulation) through `TraceEmit`, a hook
+// that costs one pointer test when no tracer is installed. A `Tracer` fans
+// events out to sinks:
+//   * TraceRingBuffer  — last-N window, queryable by page/frame, used by the
+//                        invariant checker to explain violations.
+//   * JsonlTraceSink   — one JSON object per line, for offline analysis.
+//   * ChromeTraceSink  — chrome://tracing / Perfetto `trace_event` JSON for
+//                        visual debugging of fault/eviction overlap.
+//   * TraceHashSink    — streaming FNV-1a over the event stream plus per-type
+//                        counters: a cheap determinism fingerprint (two runs
+//                        are behaviorally identical iff hashes match).
+// Timestamps come from the driving Engine, so the event stream is exactly as
+// deterministic as the simulation itself.
+#ifndef MAGESIM_TRACE_TRACE_H_
+#define MAGESIM_TRACE_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace magesim {
+
+inline constexpr uint64_t kTraceNoPage = ~0ULL;
+inline constexpr uint64_t kTraceNoFrame = ~0ULL;
+
+enum class TraceEventType : uint8_t {
+  kFaultStart,       // actor=core, page, arg=write
+  kFaultEnd,         // actor=core, page, frame, arg=latency ns
+  kFaultDedup,       // actor=core, page (coalesced onto an in-flight fault)
+  kPageMap,          // actor=core, page, frame
+  kPageUnmap,        // actor=evictor id, page, frame
+  kFrameAlloc,       // actor=core, page (vpn it will back), frame
+  kFrameFree,        // actor=evictor id, page (old vpn), frame
+  kEvictBatchStart,  // actor=evictor id, arg=requested batch
+  kEvictBatchEnd,    // actor=evictor id, arg=pages freed
+  kSyncEvictStart,   // actor=core
+  kSyncEvictEnd,     // actor=core, arg=latency ns
+  kShootdownBegin,   // actor=initiator core, arg=num pages
+  kIpiAck,           // actor=target core, arg=delivery latency ns
+  kShootdownDone,    // actor=initiator core, arg=total latency ns
+  kRdmaReadPost,     // arg=bytes
+  kRdmaReadDone,     // arg=op latency ns
+  kRdmaWritePost,    // arg=bytes
+  kRdmaWriteDone,    // arg=op latency ns
+  kFreeWaitStart,    // actor=core, page (MAGE-style wait for the EP)
+  kFreeWaitEnd,      // actor=core, page, arg=waited ns
+  kPrefetchIssue,    // actor=core, page
+  kNumTypes,
+};
+
+inline constexpr int kNumTraceEventTypes = static_cast<int>(TraceEventType::kNumTypes);
+
+// Stable snake_case name, used by the JSONL format and the golden files.
+const char* TraceEventName(TraceEventType t);
+
+struct TraceEvent {
+  SimTime t = 0;
+  TraceEventType type = TraceEventType::kFaultStart;
+  int32_t actor = -1;             // core or evictor id, -1 = n/a
+  uint64_t page = kTraceNoPage;   // vpn
+  uint64_t frame = kTraceNoFrame; // pfn
+  uint64_t arg = 0;               // type-specific (see enum comments)
+};
+
+// One-line human-readable rendering ("[12.345us] fault_start core=3 page=17").
+std::string FormatTraceEvent(const TraceEvent& e);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& e) = 0;
+  virtual void Flush() {}
+};
+
+// Keeps the newest `capacity` events; O(capacity) queries by page/frame.
+class TraceRingBuffer : public TraceSink {
+ public:
+  explicit TraceRingBuffer(size_t capacity = 4096);
+
+  void OnEvent(const TraceEvent& e) override;
+
+  size_t size() const { return size_; }
+  uint64_t total_events() const { return total_; }
+
+  // Newest-last window of all buffered events.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // The last `max` buffered events whose page or frame matches (either may be
+  // the sentinel to match only the other), oldest first.
+  std::vector<TraceEvent> LastTouching(uint64_t page, uint64_t frame, size_t max) const;
+
+ private:
+  std::vector<TraceEvent> buf_;
+  size_t head_ = 0;  // next write position
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+};
+
+// One JSON object per line:
+//   {"t":123,"ev":"fault_start","actor":3,"page":17,"arg":1}
+// Sentinel fields are omitted.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  void OnEvent(const TraceEvent& e) override;
+  void Flush() override;
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ofstream out_;
+};
+
+// Chrome trace_event JSON array (load in chrome://tracing or Perfetto).
+// Fault, sync-eviction and shootdown lifecycles become duration (B/E) slices
+// on their core's track; everything else is an instant event.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+
+  void OnEvent(const TraceEvent& e) override;
+  void Flush() override;
+  bool ok() const { return out_.good(); }
+
+ private:
+  void Emit(const TraceEvent& e, char phase, const char* name, int tid);
+
+  std::ofstream out_;
+  bool first_ = true;
+};
+
+// Streaming FNV-1a 64-bit hash over the full event stream + per-type counts.
+// Two simulations with equal hashes emitted the same events in the same order
+// at the same simulated times.
+class TraceHashSink : public TraceSink {
+ public:
+  TraceHashSink();
+
+  void OnEvent(const TraceEvent& e) override;
+
+  uint64_t hash() const { return hash_; }
+  uint64_t total_events() const { return total_; }
+  uint64_t count(TraceEventType t) const {
+    return counts_[static_cast<size_t>(t)];
+  }
+
+  // "hash=<hex> total=<n>" plus one "<name>=<count>" per non-zero type.
+  std::string Summary() const;
+
+ private:
+  void Mix(uint64_t v);
+
+  uint64_t hash_;
+  uint64_t total_ = 0;
+  std::array<uint64_t, kNumTraceEventTypes> counts_{};
+};
+
+// Fans events out to registered (non-owned) sinks. At most one Tracer is
+// installed at a time (mirroring Engine::current()); hooks are no-ops while
+// none is.
+class Tracer {
+ public:
+  Tracer() = default;
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void AddSink(TraceSink* sink);
+  void RemoveSink(TraceSink* sink);
+
+  void Install();    // make this the process-wide tracer
+  void Uninstall();  // no-op unless currently installed
+
+  static Tracer* Get() { return current_; }
+
+  void Emit(const TraceEvent& e);
+  void Flush();
+
+ private:
+  std::vector<TraceSink*> sinks_;
+  static Tracer* current_;
+};
+
+// The hook the instrumented layers call. Stamps the current simulated time.
+void TraceEmitSlow(TraceEventType type, int32_t actor, uint64_t page, uint64_t frame,
+                   uint64_t arg);
+
+inline void TraceEmit(TraceEventType type, int32_t actor = -1, uint64_t page = kTraceNoPage,
+                      uint64_t frame = kTraceNoFrame, uint64_t arg = 0) {
+  if (Tracer::Get() != nullptr) {
+    TraceEmitSlow(type, actor, page, frame, arg);
+  }
+}
+
+}  // namespace magesim
+
+#endif  // MAGESIM_TRACE_TRACE_H_

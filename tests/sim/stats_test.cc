@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/sim/random.h"
 
 namespace magesim {
@@ -84,6 +86,106 @@ TEST(HistogramTest, LargeValuesStayBounded) {
   EXPECT_LE(h.Percentile(100), max_seen);
   // Percentile never exceeds recorded max (clamped).
   EXPECT_GE(h.Percentile(99.99), h.Percentile(50));
+}
+
+// --- Property tests -------------------------------------------------------
+
+TEST(HistogramPropertyTest, PercentileMonotoneInP) {
+  Rng r(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram h;
+    int n = 1 + static_cast<int>(r.NextU64(2000));
+    for (int i = 0; i < n; ++i) {
+      // Mix magnitudes so many buckets are populated.
+      int shift = static_cast<int>(r.NextU64(50));
+      h.Record(static_cast<int64_t>(r.NextU64(1ULL << shift)));
+    }
+    int64_t prev = h.Percentile(0);
+    for (double p = 0.5; p <= 100.0; p += 0.5) {
+      int64_t cur = h.Percentile(p);
+      ASSERT_GE(cur, prev) << "trial " << trial << " p=" << p;
+      prev = cur;
+    }
+    EXPECT_LE(h.Percentile(100), h.max());
+    EXPECT_GE(h.Percentile(0), 0);
+  }
+}
+
+TEST(HistogramPropertyTest, MergeEqualsRecordingUnion) {
+  Rng r(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram a, b, both;
+    int na = static_cast<int>(r.NextU64(500));
+    int nb = static_cast<int>(r.NextU64(500));
+    for (int i = 0; i < na; ++i) {
+      int64_t v = static_cast<int64_t>(r.NextU64(1ULL << 44));
+      a.Record(v);
+      both.Record(v);
+    }
+    for (int i = 0; i < nb; ++i) {
+      int64_t v = static_cast<int64_t>(r.NextU64(1ULL << 20));
+      b.Record(v);
+      both.Record(v);
+    }
+    a.Merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.sum(), both.sum());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+      EXPECT_EQ(a.Percentile(p), both.Percentile(p)) << "trial " << trial << " p=" << p;
+    }
+  }
+}
+
+TEST(HistogramPropertyTest, ResetRestoresEmptyState) {
+  Histogram h;
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) h.Record(static_cast<int64_t>(r.NextU64(1ULL << 30)));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  // A reset histogram behaves exactly like a fresh one.
+  Histogram fresh;
+  h.Record(42);
+  fresh.Record(42);
+  EXPECT_EQ(h.Percentile(100), fresh.Percentile(100));
+  EXPECT_EQ(h.min(), fresh.min());
+}
+
+TEST(HistogramPropertyTest, BucketBoundaryValues) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(kMax);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), kMax);
+  // Percentiles stay within [0, max] and non-negative even for the top bucket,
+  // whose raw upper bound would overflow int64_t.
+  for (double p : {0.0, 33.0, 50.0, 67.0, 99.0, 100.0}) {
+    int64_t v = h.Percentile(p);
+    EXPECT_GE(v, 0) << "p=" << p;
+    EXPECT_LE(v, kMax) << "p=" << p;
+  }
+  EXPECT_EQ(h.Percentile(0), 0);
+  EXPECT_EQ(h.Percentile(100), kMax);
+
+  // Powers of two land on bucket edges; they must round-trip through
+  // bucketing without crashing and keep percentiles ordered.
+  Histogram edges;
+  for (int log2 = 0; log2 < 63; ++log2) edges.Record(int64_t{1} << log2);
+  EXPECT_EQ(edges.count(), 63u);
+  int64_t prev = -1;
+  for (double p = 0; p <= 100.0; p += 1.0) {
+    int64_t cur = edges.Percentile(p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
 }
 
 TEST(BreakdownTest, AccumulatesPerCategory) {

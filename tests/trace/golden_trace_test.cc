@@ -1,0 +1,120 @@
+// Golden-trace regression test: one canonical scenario, fingerprinted by the
+// trace hash plus per-type event counts, checked against a golden file in the
+// source tree. Any behavioral change to the fault path, evictors, allocators
+// or fabric shows up here as a readable per-counter diff.
+//
+// Intentional behavior changes: regenerate with
+//   MAGESIM_UPDATE_GOLDEN=1 ./build/tests/golden_trace_test
+// and commit the updated golden alongside the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/core/farmem.h"
+#include "src/trace/trace.h"
+#include "src/workloads/seqscan.h"
+
+namespace magesim {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(MAGESIM_GOLDEN_DIR) + "/seqscan_magelib.golden";
+}
+
+// Canonical scenario: a small sequential scan at 40% far memory on the
+// MAGE-library config. Small enough to run in <1s, rich enough to exercise
+// faults, prefetch, pipelined eviction, shootdowns and both RDMA directions.
+std::map<std::string, uint64_t> RunCanonical() {
+  SeqScanWorkload wl(
+      SeqScanWorkload::Options{.region_pages = 2048, .threads = 2, .passes = 2});
+  FarMemoryMachine::Options opt;
+  opt.kernel = MageLibConfig();
+  opt.local_mem_ratio = 0.6;
+  opt.seed = 1;
+
+  Tracer tracer;
+  TraceHashSink hash;
+  tracer.AddSink(&hash);
+  tracer.Install();
+
+  FarMemoryMachine m(opt, wl);
+  RunResult r = m.Run();
+
+  std::map<std::string, uint64_t> fp;
+  fp["hash"] = hash.hash();
+  fp["total"] = hash.total_events();
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    TraceEventType t = static_cast<TraceEventType>(i);
+    fp[std::string("count.") + TraceEventName(t)] = hash.count(t);
+  }
+  fp["result.faults"] = r.faults;
+  fp["result.evicted_pages"] = r.evicted_pages;
+  fp["result.total_ops"] = r.total_ops;
+  fp["result.sim_ns"] = static_cast<uint64_t>(r.sim_seconds * 1e9 + 0.5);
+  return fp;
+}
+
+std::map<std::string, uint64_t> LoadGolden(const std::string& path) {
+  std::map<std::string, uint64_t> g;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    g[line.substr(0, eq)] = std::strtoull(line.c_str() + eq + 1, nullptr, 10);
+  }
+  return g;
+}
+
+void SaveGolden(const std::string& path, const std::map<std::string, uint64_t>& fp) {
+  std::ofstream out(path);
+  out << "# Golden fingerprint for the canonical seqscan/magelib scenario.\n"
+      << "# Regenerate: MAGESIM_UPDATE_GOLDEN=1 ./build/tests/golden_trace_test\n";
+  for (const auto& [k, v] : fp) out << k << "=" << v << "\n";
+}
+
+TEST(GoldenTraceTest, CanonicalScenarioMatchesGolden) {
+  std::map<std::string, uint64_t> fp = RunCanonical();
+
+  if (std::getenv("MAGESIM_UPDATE_GOLDEN") != nullptr) {
+    SaveGolden(GoldenPath(), fp);
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+
+  std::map<std::string, uint64_t> golden = LoadGolden(GoldenPath());
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << GoldenPath()
+      << " — generate it with MAGESIM_UPDATE_GOLDEN=1";
+
+  // Per-counter diff: report every divergent key, not just the first, so a
+  // behavior change reads as "faults +312, evictions +2 batches" at a glance.
+  std::ostringstream diff;
+  for (const auto& [k, want] : golden) {
+    auto it = fp.find(k);
+    uint64_t got = it == fp.end() ? 0 : it->second;
+    if (got != want) {
+      diff << "  " << k << ": golden=" << want << " got=" << got << " ("
+           << (got >= want ? "+" : "-") << (got >= want ? got - want : want - got)
+           << ")\n";
+    }
+  }
+  for (const auto& [k, v] : fp) {
+    if (golden.find(k) == golden.end() && v != 0) {
+      diff << "  " << k << ": golden=<absent> got=" << v << "\n";
+    }
+  }
+  EXPECT_TRUE(diff.str().empty())
+      << "trace fingerprint diverged from golden (" << GoldenPath() << "):\n"
+      << diff.str()
+      << "If this change is intentional, regenerate with MAGESIM_UPDATE_GOLDEN=1 "
+         "and commit the new golden.";
+}
+
+}  // namespace
+}  // namespace magesim
