@@ -7,6 +7,10 @@
 namespace magesim {
 namespace {
 
+constexpr SimTime kBucket = 20 * kMillisecond;
+
+// Throughput per 20 ms bucket from the machine's periodic sampler (windowed
+// ops rate over each sampling interval), not the workload's private timeline.
 std::vector<double> RunTimeline(const KernelConfig& cfg, SimTime phase_at, SimTime run_for,
                                 uint64_t pages) {
   GupsWorkload wl({.total_pages = pages,
@@ -18,11 +22,17 @@ std::vector<double> RunTimeline(const KernelConfig& cfg, SimTime phase_at, SimTi
   opt.kernel = cfg;
   opt.local_mem_ratio = 0.85;  // paper: 85% local memory
   opt.time_limit = run_for + 100 * kMillisecond;
+  opt.metrics.enabled = true;
+  opt.metrics.sample_interval = kBucket;
   FarMemoryMachine m(opt, wl);
   m.Run();
-  size_t buckets = static_cast<size_t>(run_for / wl.timeline().bucket_width());
+  // Sample k (at t = k*kBucket) carries the windowed rate over bucket k-1.
+  const auto& samples = m.sampler()->samples();
+  size_t buckets = static_cast<size_t>(run_for / kBucket);
   std::vector<double> rates;
-  for (size_t i = 0; i < buckets; ++i) rates.push_back(wl.timeline().RatePerSec(i) / 1e6);
+  for (size_t i = 0; i < buckets; ++i) {
+    rates.push_back(i + 1 < samples.size() ? samples[i + 1].ops_rate_per_s / 1e6 : 0.0);
+  }
   return rates;
 }
 

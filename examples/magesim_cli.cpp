@@ -15,6 +15,12 @@
 //   --trace-chrome=path   write a chrome://tracing / Perfetto JSON timeline
 //   --check-interval=us   run the invariant checker every N simulated µs
 //   --check               run one invariant check after the simulation drains
+// Observability:
+//   --metrics-out=path       write the JSON run-report
+//   --metrics-csv=path       write the sampler time series as CSV
+//   --metrics-prom=path      write a Prometheus text exposition
+//   --sample-interval-us=N   sampling period (default 1000)
+//   --progress               print a per-sample progress line to stderr
 // Exit status is nonzero if any invariant violation was detected.
 #include <cstdio>
 #include <cstring>
@@ -63,6 +69,9 @@ int Usage() {
                "                   [--threads=N] [--trace-file=path] [--save-trace=path]\n"
                "                   [--trace=events.jsonl] [--trace-chrome=timeline.json]\n"
                "                   [--check-interval=us] [--check]\n"
+               "                   [--metrics-out=report.json] [--metrics-csv=series.csv]\n"
+               "                   [--metrics-prom=metrics.txt] [--sample-interval-us=N]\n"
+               "                   [--progress]\n"
                "workloads: pagerank xsbench seqscan gups metis memcached\n"
                "           zipf-trace mixed-trace trace\n"
                "systems:   ideal hermit dilos magelnx magelib fastswap\n");
@@ -142,6 +151,16 @@ int main(int argc, char** argv) {
   if (check_us > 0) opt.check_interval = check_us * kMicrosecond;
   if (args.count("check") != 0) opt.check_final = true;
 
+  opt.metrics.report_path = Get(args, "metrics-out", "");
+  opt.metrics.csv_path = Get(args, "metrics-csv", "");
+  opt.metrics.prom_path = Get(args, "metrics-prom", "");
+  long sample_us = std::atol(Get(args, "sample-interval-us", "0").c_str());
+  if (sample_us > 0) opt.metrics.sample_interval = sample_us * kMicrosecond;
+  opt.metrics.progress = args.count("progress") != 0;
+  opt.metrics.enabled = !opt.metrics.report_path.empty() || !opt.metrics.csv_path.empty() ||
+                        !opt.metrics.prom_path.empty() || sample_us > 0 ||
+                        opt.metrics.progress;
+
   // Install the tracer (if requested) before building the machine so the
   // checker's recent-event ring registers with it.
   Tracer tracer;
@@ -185,6 +204,9 @@ int main(int argc, char** argv) {
               r.nic_write_gbps);
   std::printf("tlb shootdowns  %s (ipis %llu)\n", r.tlb_shootdown_latency.Summary().c_str(),
               static_cast<unsigned long long>(r.ipis_sent));
+  if (machine.metrics() != nullptr && !opt.metrics.report_path.empty()) {
+    std::printf("run report      %s\n", opt.metrics.report_path.c_str());
+  }
   if (machine.checker() != nullptr) {
     std::printf("%s\n", machine.checker()->Report().c_str());
     if (r.invariant_violations > 0) return 1;

@@ -2,9 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+
+#include "src/metrics/run_report.h"
 
 namespace magesim {
+
+namespace {
+void WriteFileOrWarn(const std::string& path, const std::string& contents) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "magesim: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+}
+}  // namespace
 
 FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
     : options_(std::move(options)), workload_(workload) {
@@ -73,6 +90,58 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
     checker_ = std::make_unique<InvariantChecker>(
         *kernel_, Tracer::Get() != nullptr ? trace_ring_.get() : nullptr);
   }
+
+  // Each MAGESIM_METRICS_* override force-enables the metrics subsystem.
+  auto& mo = options_.metrics;
+  if (const char* env = std::getenv("MAGESIM_METRICS_OUT")) {
+    mo.report_path = env;
+    mo.enabled = true;
+  }
+  if (const char* env = std::getenv("MAGESIM_METRICS_CSV")) {
+    mo.csv_path = env;
+    mo.enabled = true;
+  }
+  if (const char* env = std::getenv("MAGESIM_METRICS_PROM")) {
+    mo.prom_path = env;
+    mo.enabled = true;
+  }
+  if (const char* env = std::getenv("MAGESIM_METRICS_SAMPLE_INTERVAL_US")) {
+    long us = std::atol(env);
+    if (us > 0) mo.sample_interval = static_cast<SimTime>(us) * kMicrosecond;
+    mo.enabled = true;
+  }
+  if (const char* env = std::getenv("MAGESIM_METRICS_PROGRESS")) {
+    mo.progress = env[0] != '0';
+    mo.enabled = true;
+  }
+  if (mo.enabled) {
+    if (mo.sample_interval <= 0) mo.sample_interval = kMillisecond;
+    metrics_ = std::make_unique<MetricsRegistry>();
+    profiler_ = std::make_unique<SimProfiler>(topo_->num_cores());
+    SamplerSources src;
+    src.free_pages = [this] { return kernel_->free_pages(); };
+    src.faults = [this] { return kernel_->stats().faults; };
+    src.evicted_pages = [this] { return kernel_->stats().evicted_pages; };
+    src.total_ops = [this] {
+      uint64_t ops = 0;
+      for (const auto& t : threads_) ops += t->ops;
+      return ops;
+    };
+    src.dirty_ratio = [this] {
+      uint64_t present = 0, dirty = 0;
+      for (uint64_t vpn = 0; vpn < kernel_->wss_pages(); ++vpn) {
+        const Pte& pte = kernel_->page_table().At(vpn);
+        if (!pte.present) continue;
+        ++present;
+        if (pte.dirty) ++dirty;
+      }
+      return present == 0 ? 0.0 : static_cast<double>(dirty) / static_cast<double>(present);
+    };
+    src.ipi_queue_depth = [this] { return tlb_->pending_ipis(); };
+    src.nic_read_busy_ns = [this] { return nic_->read_busy_ns(); };
+    src.nic_write_busy_ns = [this] { return nic_->write_busy_ns(); };
+    sampler_ = std::make_unique<MetricsSampler>(std::move(src), mo.sample_interval);
+  }
 }
 
 FarMemoryMachine::~FarMemoryMachine() {
@@ -128,6 +197,12 @@ RunResult FarMemoryMachine::Run() {
   if (checker_ != nullptr && options_.check_interval > 0) {
     engine_->Spawn(checker_->PeriodicMain(options_.check_interval));
   }
+  if (profiler_ != nullptr) {
+    profiler_->Install();
+  }
+  if (sampler_ != nullptr) {
+    engine_->Spawn(sampler_->Main(options_.metrics.progress));
+  }
 
   engine_->Run();
   if (checker_ != nullptr) {
@@ -176,7 +251,130 @@ RunResult FarMemoryMachine::Run() {
       r.first_violation = checker_->violations().front().message;
     }
   }
+  if (metrics_ != nullptr) {
+    if (sampler_ != nullptr) {
+      sampler_->SampleNow();  // final row at the drain time (dropped if dup)
+    }
+    PublishMetrics(r);
+    report_json_ = BuildRunReportJson(r);
+    const auto& mo = options_.metrics;
+    WriteFileOrWarn(mo.report_path, report_json_);
+    if (sampler_ != nullptr) {
+      WriteFileOrWarn(mo.csv_path, sampler_->ToCsv());
+    }
+    WriteFileOrWarn(mo.prom_path, PrometheusText(*metrics_));
+    profiler_->Uninstall();
+  }
   return r;
+}
+
+void FarMemoryMachine::PublishMetrics(const RunResult& r) {
+  MetricsRegistry& m = *metrics_;
+  const KernelStats& ks = kernel_->stats();
+  m.Counter("kernel.faults").Set(ks.faults);
+  m.Counter("kernel.fast_hits").Set(ks.fast_hits);
+  m.Counter("kernel.dedup_waits").Set(ks.dedup_waits);
+  m.Counter("kernel.sync_evictions").Set(ks.sync_evictions);
+  m.Counter("kernel.free_page_waits").Set(ks.free_page_waits);
+  m.Counter("kernel.evicted_pages").Set(ks.evicted_pages);
+  m.Counter("kernel.eviction_batches").Set(ks.eviction_batches);
+  m.Counter("kernel.clean_reclaims").Set(ks.clean_reclaims);
+  m.Counter("kernel.prefetched_pages").Set(ks.prefetched_pages);
+  m.Counter("kernel.prefetch_hits").Set(ks.prefetch_hits);
+  m.Counter("kernel.free_wait_time_ns").Set(static_cast<uint64_t>(ks.free_wait_time_total));
+  m.Counter("kernel.free_pages_final").Set(kernel_->free_pages());
+  m.Counter("app.total_ops").Set(r.total_ops);
+  m.Counter("nic.bytes_read").Set(nic_->bytes_read());
+  m.Counter("nic.bytes_written").Set(nic_->bytes_written());
+  m.Counter("nic.reads_posted").Set(nic_->reads_posted());
+  m.Counter("nic.writes_posted").Set(nic_->writes_posted());
+  m.Counter("tlb.ipis_sent").Set(tlb_->ipis_sent());
+  m.Counter("tlb.shootdowns").Set(tlb_->shootdowns());
+  if (checker_ != nullptr) {
+    m.Counter("check.invariant_checks").Set(r.invariant_checks);
+    m.Counter("check.invariant_violations").Set(r.invariant_violations);
+  }
+  m.Gauge("run.ops_per_sec").Set(r.ops_per_sec);
+  m.Gauge("run.fault_mops").Set(r.fault_mops);
+  m.Gauge("nic.read_gbps").Set(r.nic_read_gbps);
+  m.Gauge("nic.write_gbps").Set(r.nic_write_gbps);
+
+  // Fault-phase breakdown (Figs. 6/16) as counters, one pair per category,
+  // so bench harnesses read their attribution from the registry.
+  for (const auto& [cat, e] : ks.fault_breakdown.entries()) {
+    m.Counter("fault_breakdown." + cat + ".total_ns").Set(static_cast<uint64_t>(e.total_ns));
+    m.Counter("fault_breakdown." + cat + ".count").Set(e.count);
+  }
+
+  m.Hist("fault_latency_ns").histogram().Merge(ks.fault_latency);
+  m.Hist("sync_evict_latency_ns").histogram().Merge(ks.sync_evict_latency);
+  m.Hist("tlb_shootdown_ns").histogram().Merge(tlb_->shootdown_latency());
+  m.Hist("ipi_delivery_ns").histogram().Merge(tlb_->ipi_delivery_latency());
+  m.Hist("rdma_read_latency_ns").histogram().Merge(nic_->read_latency());
+  m.Hist("rdma_write_latency_ns").histogram().Merge(nic_->write_latency());
+}
+
+std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema_version", kRunReportSchemaVersion);
+
+  // The only nondeterministic section; determinism tests strip it before
+  // comparing reports. Kept flat (no nested objects) so a regex can do it.
+  w.Key("wall_clock");
+  w.BeginObject();
+  w.KV("generated_unix_s", static_cast<int64_t>(std::time(nullptr)));
+  w.EndObject();
+
+  const KernelConfig& kc = options_.kernel;
+  w.Key("config");
+  w.BeginObject();
+  w.KV("kernel", kc.name);
+  w.KV("workload", workload_.name());
+  w.KV("threads", workload_.num_threads());
+  w.KV("cores", topo_->num_cores());
+  w.KV("seed", options_.seed);
+  w.KV("local_mem_ratio", options_.local_mem_ratio);
+  w.KV("local_pages", kernel_->local_pages());
+  w.KV("wss_pages", kernel_->wss_pages());
+  w.KV("time_limit_ns", options_.time_limit);
+  w.KV("stats_warmup_ns", options_.stats_warmup);
+  w.KV("num_evictors", kc.num_evictors);
+  w.KV("pipelined_eviction", kc.pipelined_eviction);
+  w.KV("allow_sync_eviction", kc.allow_sync_eviction);
+  w.KV("prefetch", kc.prefetch);
+  w.KV("virtualized", kc.virtualized);
+  w.KV("sample_interval_ns", options_.metrics.sample_interval);
+  w.EndObject();
+
+  w.Key("run");
+  w.BeginObject();
+  w.KV("end_time_ns", end_time_);
+  w.KV("sim_seconds", r.sim_seconds);
+  w.KV("measured_seconds", r.measured_seconds);
+  w.KV("events_processed", engine_->events_processed());
+  w.KV("total_ops", r.total_ops);
+  w.KV("ops_per_sec", r.ops_per_sec);
+  w.EndObject();
+
+  AppendRegistryJson(w, *metrics_);
+
+  w.Key("breakdowns");
+  w.BeginObject();
+  w.Key("fault_breakdown");
+  AppendBreakdownJson(w, kernel_->stats().fault_breakdown);
+  w.EndObject();
+
+  w.Key("profiler");
+  AppendProfilerJson(w, *profiler_, end_time_);
+
+  if (sampler_ != nullptr) {
+    w.Key("timeseries");
+    AppendTimeseriesJson(w, *sampler_);
+  }
+
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace magesim

@@ -18,6 +18,9 @@
 
 #include "src/check/invariant_checker.h"
 #include "src/hw/memnode.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/profiler.h"
+#include "src/metrics/sampler.h"
 #include "src/paging/kernel.h"
 #include "src/paging/kernels.h"
 #include "src/trace/trace.h"
@@ -89,6 +92,24 @@ class FarMemoryMachine {
     SimTime check_interval = 0;
     // Run one final check after the simulation drains.
     bool check_final = false;
+    // Unified observability (src/metrics): registry + profiler + sampler.
+    // Each MAGESIM_METRICS_* environment override also force-enables the
+    // subsystem, so any existing harness can emit a run-report unchanged:
+    //   MAGESIM_METRICS_OUT=report.json   JSON run-report path
+    //   MAGESIM_METRICS_CSV=series.csv    sampler time-series CSV path
+    //   MAGESIM_METRICS_PROM=metrics.txt  Prometheus text exposition path
+    //   MAGESIM_METRICS_SAMPLE_INTERVAL_US=500   sampling period
+    //   MAGESIM_METRICS_PROGRESS=1        per-sample stderr progress line
+    struct MetricsOptions {
+      bool enabled = false;
+      // 0 = 1 ms default when enabled.
+      SimTime sample_interval = 0;
+      std::string report_path;  // JSON run-report ("" = don't write)
+      std::string csv_path;     // time-series CSV
+      std::string prom_path;    // Prometheus text exposition
+      bool progress = false;
+    };
+    MetricsOptions metrics;
   };
 
   FarMemoryMachine(Options options, Workload& workload);
@@ -105,10 +126,21 @@ class FarMemoryMachine {
   const std::vector<std::unique_ptr<AppThread>>& threads() const { return threads_; }
   // Null unless checking was enabled via Options or MAGESIM_CHECK_INTERVAL_US.
   InvariantChecker* checker() { return checker_.get(); }
+  // Null unless metrics were enabled via Options or MAGESIM_METRICS_*.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  SimProfiler* profiler() { return profiler_.get(); }
+  MetricsSampler* sampler() { return sampler_.get(); }
+  // The JSON run-report built at the end of Run(); empty when metrics are
+  // disabled or before Run.
+  const std::string& run_report_json() const { return report_json_; }
 
  private:
   Task<> RunThread(int tid);
   Task<> Controller();
+  // Copies end-of-run statistics (kernel, NIC, TLB, checker, breakdown) into
+  // the registry, then renders the JSON run-report.
+  void PublishMetrics(const RunResult& r);
+  std::string BuildRunReportJson(const RunResult& r) const;
 
   Options options_;
   Workload& workload_;
@@ -122,6 +154,10 @@ class FarMemoryMachine {
   // installed Tracer (if any) for the duration of the run.
   std::unique_ptr<TraceRingBuffer> trace_ring_;
   std::unique_ptr<InvariantChecker> checker_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<SimProfiler> profiler_;
+  std::unique_ptr<MetricsSampler> sampler_;
+  std::string report_json_;
   std::vector<std::unique_ptr<AppThread>> threads_;
   WaitGroup wg_;
   SimTime end_time_ = 0;

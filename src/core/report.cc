@@ -49,11 +49,23 @@ std::string Table::ToString() const {
 }
 
 std::string Table::ToCsv() const {
-  auto join = [](const std::vector<std::string>& cells) {
+  // RFC 4180: cells containing commas, double quotes, or line breaks are
+  // quoted, with embedded quotes doubled.
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+    std::string q = "\"";
+    for (char c : cell) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    q += '"';
+    return q;
+  };
+  auto join = [&](const std::vector<std::string>& cells) {
     std::string line;
     for (size_t i = 0; i < cells.size(); ++i) {
       if (i > 0) line += ",";
-      line += cells[i];
+      line += quote(cells[i]);
     }
     return line + "\n";
   };

@@ -40,6 +40,7 @@ Task<> TlbShootdownManager::DeliverIpi(CoreId target, int num_pages, SimTime sen
   }
   SimTime elapsed = Engine::current().now() - send_time;
   ipi_latency_.Record(elapsed);
+  --pending_ipis_;
   TraceEmit(TraceEventType::kIpiAck, target, kTraceNoPage, kTraceNoFrame,
             static_cast<uint64_t>(elapsed));
   op->Ack();
@@ -74,6 +75,7 @@ Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, 
     SimTime send_cost = p.ipi_send_ns + (p.virtualized ? p.vmexit_ns : 0);
     co_await Delay{send_cost};
     ++ipis_sent_;
+    ++pending_ipis_;
     SimTime delivery = topo_.SameSocket(initiator, t) ? p.ipi_delivery_same_socket_ns
                                                       : p.ipi_delivery_cross_socket_ns;
     eng.Spawn(DeliverIpi(t, num_pages, eng.now(), op, delivery));

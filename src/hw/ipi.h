@@ -64,6 +64,9 @@ class TlbShootdownManager {
   const Histogram& ipi_delivery_latency() const { return ipi_latency_; }
   uint64_t ipis_sent() const { return ipis_sent_; }
   uint64_t shootdowns() const { return shootdowns_; }
+  // IPIs sent but not yet acknowledged (in flight or queued at a target's
+  // interrupt serializer) — the sampler's "IPI queue depth".
+  uint64_t pending_ipis() const { return pending_ipis_; }
   void ResetStats();
 
   // Handler cost for flushing `num_pages` entries at one core.
@@ -82,6 +85,7 @@ class TlbShootdownManager {
   Histogram ipi_latency_;
   uint64_t ipis_sent_ = 0;
   uint64_t shootdowns_ = 0;
+  uint64_t pending_ipis_ = 0;
 };
 
 }  // namespace magesim

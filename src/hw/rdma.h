@@ -70,6 +70,11 @@ class RdmaNic {
   // the last ResetStats().
   double ReadUtilization() const;
   double WriteUtilization() const;
+  // Cumulative channel-busy time since the last ResetStats — the metrics
+  // sampler derives windowed utilization from deltas of these (with
+  // counter-reset detection for the warmup reset).
+  uint64_t read_busy_ns() const { return static_cast<uint64_t>(read_ch_.busy_ns); }
+  uint64_t write_busy_ns() const { return static_cast<uint64_t>(write_ch_.busy_ns); }
   double AchievedReadGbps() const;
   double AchievedWriteGbps() const;
 

@@ -1,0 +1,62 @@
+#include "src/metrics/metrics.h"
+
+namespace magesim {
+
+MetricsRegistry::CounterHandle MetricsRegistry::Counter(std::string_view name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    counters_.push_back(0);
+    it = by_name_.emplace(std::string(name), Meta{Kind::kCounter, counters_.size() - 1}).first;
+  }
+  assert(it->second.kind == Kind::kCounter);
+  return CounterHandle(&counters_[it->second.index]);
+}
+
+MetricsRegistry::GaugeHandle MetricsRegistry::Gauge(std::string_view name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    gauges_.push_back(0.0);
+    it = by_name_.emplace(std::string(name), Meta{Kind::kGauge, gauges_.size() - 1}).first;
+  }
+  assert(it->second.kind == Kind::kGauge);
+  return GaugeHandle(&gauges_[it->second.index]);
+}
+
+MetricsRegistry::HistHandle MetricsRegistry::Hist(std::string_view name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    hists_.push_back(std::make_unique<Histogram>());
+    it = by_name_.emplace(std::string(name), Meta{Kind::kHistogram, hists_.size() - 1}).first;
+  }
+  assert(it->second.kind == Kind::kHistogram);
+  return HistHandle(hists_[it->second.index].get());
+}
+
+uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != Kind::kCounter) return 0;
+  return counters_[it->second.index];
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != Kind::kGauge) return 0.0;
+  return gauges_[it->second.index];
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.kind != Kind::kHistogram) return nullptr;
+  return hists_[it->second.index].get();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::SortedEntries() const {
+  std::vector<Entry> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, meta] : by_name_) {
+    out.push_back(Entry{&name, meta.kind, meta.index});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+}  // namespace magesim

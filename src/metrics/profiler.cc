@@ -1,0 +1,95 @@
+#include "src/metrics/profiler.h"
+
+#include <cassert>
+
+#include "src/sim/sync.h"
+
+namespace magesim {
+
+SimProfiler* SimProfiler::current_ = nullptr;
+
+const char* SimPhaseName(SimPhase p) {
+  switch (p) {
+    case SimPhase::kAppCompute: return "app_compute";
+    case SimPhase::kFaultMap: return "fault_map";
+    case SimPhase::kFaultAlloc: return "fault_alloc";
+    case SimPhase::kAccounting: return "accounting";
+    case SimPhase::kRdmaWait: return "rdma_wait";
+    case SimPhase::kTlbWait: return "tlb_wait";
+    case SimPhase::kEviction: return "eviction";
+    case SimPhase::kFreeWait: return "free_wait";
+    case SimPhase::kNumPhases: break;
+  }
+  return "?";
+}
+
+SimProfiler::SimProfiler(int num_cores) {
+  assert(num_cores >= 0);
+  per_core_.resize(static_cast<size_t>(num_cores));
+  for (auto& row : per_core_) row.fill(0);
+}
+
+SimProfiler::~SimProfiler() {
+  if (current_ == this) Uninstall();
+}
+
+namespace {
+void LockWaitTrampoline(void* ctx, const SimMutex& m, SimTime waited_ns) {
+  static_cast<SimProfiler*>(ctx)->RecordLockWait(m, waited_ns);
+}
+}  // namespace
+
+void SimProfiler::Install() {
+  assert(current_ == nullptr && "another SimProfiler is already installed");
+  current_ = this;
+  SetLockWaitObserver(&LockWaitTrampoline, this);
+}
+
+void SimProfiler::Uninstall() {
+  if (current_ != this) return;
+  current_ = nullptr;
+  SetLockWaitObserver(nullptr, nullptr);
+}
+
+void SimProfiler::RecordLockWait(const SimMutex& m, SimTime waited_ns) {
+  if (waited_ns <= 0) return;
+  lock_wait_total_ += waited_ns;
+  ++lock_wait_events_;
+  auto it = lock_slot_cache_.find(&m);
+  if (it == lock_slot_cache_.end()) {
+    std::string key = m.name().empty() ? "<anonymous>" : m.name();
+    SimTime* slot = &lock_waits_[key];  // map nodes are stable
+    it = lock_slot_cache_.emplace(&m, slot).first;
+  }
+  *it->second += waited_ns;
+}
+
+SimTime SimProfiler::core_attributed(int core) const {
+  SimTime total = 0;
+  for (SimTime v : per_core_[static_cast<size_t>(core)]) total += v;
+  return total;
+}
+
+SimTime SimProfiler::phase_total(SimPhase p) const {
+  SimTime total = 0;
+  for (const auto& row : per_core_) total += row[static_cast<size_t>(p)];
+  return total;
+}
+
+SimTime SimProfiler::total_attributed() const {
+  SimTime total = 0;
+  for (const auto& row : per_core_) {
+    for (SimTime v : row) total += v;
+  }
+  return total;
+}
+
+void SimProfiler::Reset() {
+  for (auto& row : per_core_) row.fill(0);
+  lock_wait_total_ = 0;
+  lock_wait_events_ = 0;
+  lock_waits_.clear();
+  lock_slot_cache_.clear();
+}
+
+}  // namespace magesim

@@ -1,12 +1,23 @@
 // Kernel fault-in path (FP of Fig. 2), with per-phase latency attribution.
 #include <cassert>
 
+#include "src/metrics/profiler.h"
 #include "src/paging/kernel.h"
 #include "src/paging/prefetcher.h"
 #include "src/sim/engine.h"
 #include "src/trace/trace.h"
 
 namespace magesim {
+
+namespace {
+// Interned breakdown categories, resolved once — Breakdown::Add on the fault
+// hot path is then a plain vector index.
+const int kCatEntry = Breakdown::InternCategory("entry");
+const int kCatOther = Breakdown::InternCategory("other");
+const int kCatAlloc = Breakdown::InternCategory("alloc");
+const int kCatRdma = Breakdown::InternCategory("rdma");
+const int kCatAccounting = Breakdown::InternCategory("accounting");
+}  // namespace
 
 Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
   Engine& eng = Engine::current();
@@ -30,7 +41,10 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     PageFrame* f = co_await AllocWithPressure(core, vpn);
     assert(f != nullptr);
     TraceEmit(TraceEventType::kFrameAlloc, core, vpn, f->pfn);
-    co_await nic_.Read(kPageSize);
+    {
+      PhaseScope ps(core, SimPhase::kRdmaWait);
+      co_await nic_.Read(kPageSize);
+    }
     pt_->Map(vpn, f);
     TraceEmit(TraceEventType::kPageMap, core, vpn, f->pfn);
     if (write) {
@@ -46,14 +60,15 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
   }
 
   // --- Trap entry and dispatch ---
-  co_await Delay{config_.fault_entry_ns + hw.page_table_walk_ns};
-
-  // --- VMA resolution (variant-dependent locking) ---
   {
+    PhaseScope ps(core, SimPhase::kFaultMap);
+    co_await Delay{config_.fault_entry_ns + hw.page_table_walk_ns};
+
+    // --- VMA resolution (variant-dependent locking) ---
     const Vma* v = co_await vma_->Find(vpn);
     assert(v != nullptr);
   }
-  stats_.fault_breakdown.Add("entry", eng.now() - t0);
+  stats_.fault_breakdown.Add(kCatEntry, eng.now() - t0);
 
   Pte& pte = pt_->At(vpn);
   if (pte.present) {
@@ -80,9 +95,10 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
   // --- Serialized mm bookkeeping (page-table lock, rmap, cgroup: Linux) ---
   if (config_.mm_locks_cs_ns > 0) {
     SimTime m0 = eng.now();
+    PhaseScope ps(core, SimPhase::kFaultMap);
     auto g = co_await mm_locks_.Scoped();
     co_await Delay{config_.mm_locks_cs_ns};
-    stats_.fault_breakdown.Add("other", eng.now() - m0);
+    stats_.fault_breakdown.Add(kCatOther, eng.now() - m0);
   }
 
   // --- FP1: local page allocation (may wait for / trigger eviction) ---
@@ -90,42 +106,51 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
   PageFrame* frame = co_await AllocWithPressure(core, vpn);
   assert(frame != nullptr);
   TraceEmit(TraceEventType::kFrameAlloc, core, vpn, frame->pfn);
-  stats_.fault_breakdown.Add("alloc", eng.now() - a0);
+  stats_.fault_breakdown.Add(kCatAlloc, eng.now() - a0);
 
   // --- FP2: RDMA read of the page ---
   SimTime r0 = eng.now();
-  if (config_.rdma_stack_cs_ns > 0) {
-    auto g = co_await rdma_stack_lock_.Scoped();
-    co_await Delay{config_.rdma_stack_cs_ns};
+  {
+    PhaseScope ps(core, SimPhase::kRdmaWait);
+    if (config_.rdma_stack_cs_ns > 0) {
+      auto g = co_await rdma_stack_lock_.Scoped();
+      co_await Delay{config_.rdma_stack_cs_ns};
+    }
+    co_await nic_.Read(kPageSize);
   }
-  co_await nic_.Read(kPageSize);
-  stats_.fault_breakdown.Add("rdma", eng.now() - r0);
+  stats_.fault_breakdown.Add(kCatRdma, eng.now() - r0);
 
   // --- Swap bookkeeping (slot-based variants free the slot on swap-in) ---
   SimTime o0 = eng.now();
-  if (swap_ != nullptr && pte.swap_slot != kNoSwapSlot) {
-    co_await swap_->Free(pte.swap_slot);
-    pte.swap_slot = kNoSwapSlot;
-  }
-  // Residual per-fault OS work outside the modeled locks.
-  if (config_.fault_extra_ns > 0) {
-    co_await Delay{config_.fault_extra_ns};
-  }
+  {
+    PhaseScope ps(core, SimPhase::kFaultMap);
+    if (swap_ != nullptr && pte.swap_slot != kNoSwapSlot) {
+      co_await swap_->Free(pte.swap_slot);
+      pte.swap_slot = kNoSwapSlot;
+    }
+    // Residual per-fault OS work outside the modeled locks.
+    if (config_.fault_extra_ns > 0) {
+      co_await Delay{config_.fault_extra_ns};
+    }
 
-  // --- Install the mapping ---
-  co_await Delay{hw.pte_update_ns};
+    // --- Install the mapping ---
+    co_await Delay{hw.pte_update_ns};
+  }
   pt_->Map(vpn, frame);
   TraceEmit(TraceEventType::kPageMap, core, vpn, frame->pfn);
   if (write) {
     pte.dirty = true;
     remote_valid_[vpn] = false;
   }
-  stats_.fault_breakdown.Add("other", eng.now() - o0);
+  stats_.fault_breakdown.Add(kCatOther, eng.now() - o0);
 
   // --- FP3: page accounting insert ---
   SimTime acc0 = eng.now();
-  co_await accounting_->Insert(core, frame);
-  stats_.fault_breakdown.Add("accounting", eng.now() - acc0);
+  {
+    PhaseScope ps(core, SimPhase::kAccounting);
+    co_await accounting_->Insert(core, frame);
+  }
+  stats_.fault_breakdown.Add(kCatAccounting, eng.now() - acc0);
 
   pt_->EndFault(vpn);
   stats_.fault_latency.Record(eng.now() - t0);

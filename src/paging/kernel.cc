@@ -7,11 +7,19 @@
 #include "src/accounting/mglru.h"
 #include "src/accounting/partitioned_fifo.h"
 #include "src/accounting/s3fifo.h"
+#include "src/metrics/profiler.h"
 #include "src/paging/prefetcher.h"
 #include "src/sim/engine.h"
 #include "src/trace/trace.h"
 
 namespace magesim {
+
+namespace {
+// Interned breakdown categories for the sync-eviction attribution path.
+const int kCatAccounting = Breakdown::InternCategory("accounting");
+const int kCatTlb = Breakdown::InternCategory("tlb");
+const int kCatOther = Breakdown::InternCategory("other");
+}  // namespace
 
 Kernel::Kernel(const KernelConfig& config, Topology& topo, TlbShootdownManager& tlb,
                RdmaNic& nic, uint64_t local_pages, uint64_t wss_pages)
@@ -212,7 +220,11 @@ Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
     if (config_.allow_sync_eviction && free_pages() <= min_wm_) {
       co_await SyncEvict(core);
     }
-    PageFrame* f = co_await allocator_->Alloc(core);
+    PageFrame* f;
+    {
+      PhaseScope ps(core, SimPhase::kFaultAlloc);
+      f = co_await allocator_->Alloc(core);
+    }
     if (f != nullptr) {
       MaybeWakeEvictors();
       co_return f;
@@ -232,8 +244,11 @@ Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
     ++stats_.free_page_waits;
     SimTime w0 = Engine::current().now();
     TraceEmit(TraceEventType::kFreeWaitStart, core, vpn);
-    free_pages_available_.Reset();
-    co_await free_pages_available_.Wait();
+    {
+      PhaseScope ps(core, SimPhase::kFreeWait);
+      free_pages_available_.Reset();
+      co_await free_pages_available_.Wait();
+    }
     SimTime waited = Engine::current().now() - w0;
     stats_.free_wait_time_total += waited;
     TraceEmit(TraceEventType::kFreeWaitEnd, core, vpn, kTraceNoFrame,
@@ -257,12 +272,17 @@ Task<> Kernel::SyncEvict(CoreId core) {
 Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
                                     std::vector<PageFrame*>* out, Breakdown* sync_attr) {
   SimTime i0 = Engine::current().now();
-  size_t got = co_await accounting_->IsolateBatch(evictor_id, core, batch, out);
+  size_t got;
+  {
+    PhaseScope ps(core, SimPhase::kAccounting);
+    got = co_await accounting_->IsolateBatch(evictor_id, core, batch, out);
+  }
   if (sync_attr != nullptr) {
-    sync_attr->Add("accounting", Engine::current().now() - i0);
+    sync_attr->Add(kCatAccounting, Engine::current().now() - i0);
   }
   if (got == 0) co_return 0;
   const MachineParams& hw = topo_.params();
+  PhaseScope ps(core, SimPhase::kEviction);
   for (PageFrame* f : *out) {
     assert(f->vpn != kInvalidVpn);
     uint64_t vpn = f->vpn;
@@ -307,23 +327,29 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
   // EP2: invalidate victim translations everywhere — or, in lazy-TLB mode,
   // wait for the next reconciliation tick instead of sending IPIs.
   SimTime s0 = Engine::current().now();
-  if (config_.lazy_tlb) {
-    co_await lazy_epoch_.Wait();
-  } else {
-    co_await tlb_.Shootdown(core, static_cast<int>(got));
+  {
+    PhaseScope ps(core, SimPhase::kTlbWait);
+    if (config_.lazy_tlb) {
+      co_await lazy_epoch_.Wait();
+    } else {
+      co_await tlb_.Shootdown(core, static_cast<int>(got));
+    }
   }
   if (sync_attr != nullptr) {
-    sync_attr->Add("tlb", Engine::current().now() - s0);
+    sync_attr->Add(kCatTlb, Engine::current().now() - s0);
   }
 
   // EP4: write back dirty pages.
   SimTime w0 = Engine::current().now();
-  auto last = PostWriteback(victims);
-  if (last != nullptr) {
-    co_await last->Wait();
+  {
+    PhaseScope ps(core, SimPhase::kRdmaWait);
+    auto last = PostWriteback(victims);
+    if (last != nullptr) {
+      co_await last->Wait();
+    }
   }
   if (sync_attr != nullptr) {
-    sync_attr->Add("other", Engine::current().now() - w0);
+    sync_attr->Add(kCatOther, Engine::current().now() - w0);
   }
 
   // Reclaim frames into the allocator and release waiting fault paths.
@@ -332,7 +358,10 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
       TraceEmit(TraceEventType::kFrameFree, evictor_id, f->vpn, f->pfn);
     }
   }
-  co_await allocator_->FreeBatch(core, victims);
+  {
+    PhaseScope ps(core, SimPhase::kEviction);
+    co_await allocator_->FreeBatch(core, victims);
+  }
   stats_.evicted_pages += got;
   ++stats_.eviction_batches;
   free_pages_available_.Set();

@@ -9,6 +9,7 @@
 // other stages' overheads.
 #include <optional>
 
+#include "src/metrics/profiler.h"
 #include "src/paging/kernel.h"
 #include "src/sim/engine.h"
 #include "src/trace/trace.h"
@@ -49,6 +50,7 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
     // complete thanks to the overlap), then kick off this batch's shootdown.
     // Lazy-TLB mode replaces both with a wait for the reconciliation tick.
     if (prev.has_value()) {
+      PhaseScope ps(core, SimPhase::kTlbWait);
       if (config_.lazy_tlb) {
         co_await lazy_epoch_.Wait();
       } else {
@@ -57,6 +59,7 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       }
     }
     if (!cur.victims.empty() && !config_.lazy_tlb) {
+      PhaseScope ps(core, SimPhase::kTlbWait);
       cur.shootdown = co_await tlb_.Begin(core, static_cast<int>(cur.victims.size()));
     }
 
@@ -64,6 +67,7 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
     // then post writes for the middle batch.
     if (prevprev.has_value()) {
       if (prevprev->write_completion != nullptr) {
+        PhaseScope ps(core, SimPhase::kRdmaWait);
         co_await prevprev->write_completion->Wait();
       }
       if (Tracer::Get() != nullptr) {
@@ -71,7 +75,10 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
           TraceEmit(TraceEventType::kFrameFree, evictor_id, f->vpn, f->pfn);
         }
       }
-      co_await allocator_->FreeBatch(core, prevprev->victims);
+      {
+        PhaseScope ps(core, SimPhase::kEviction);
+        co_await allocator_->FreeBatch(core, prevprev->victims);
+      }
       pending_reclaims_ -= prevprev->victims.size();
       stats_.evicted_pages += prevprev->victims.size();
       ++stats_.eviction_batches;

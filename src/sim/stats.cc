@@ -52,18 +52,41 @@ void Histogram::RecordN(int64_t value, uint64_t n) {
   buckets_[bucket][sub] += n;
 }
 
+int64_t Histogram::BucketLowerBound(int bucket, int sub) {
+  if (bucket == 0) return sub;
+  int log2 = bucket + 3;
+  int shift = log2 - 4;
+  uint64_t lower = (1ULL << log2) + (static_cast<uint64_t>(sub) << shift);
+  if (lower > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(lower);
+}
+
 int64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
   uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
   if (target >= count_) target = count_ - 1;
   uint64_t seen = 0;
   for (size_t b = 0; b < buckets_.size(); ++b) {
     for (int s = 0; s < kSubBuckets; ++s) {
-      seen += buckets_[b][s];
-      if (seen > target) {
-        return std::min<int64_t>(BucketUpperBound(static_cast<int>(b), s), max_);
+      uint64_t k = buckets_[b][s];
+      if (k == 0) continue;
+      if (seen + k > target) {
+        // Interpolate within the sub-bucket: its k samples are assumed evenly
+        // spread over [lower, upper]. The result is clamped to the observed
+        // range, so a singleton sub-bucket reports the exact sample when it
+        // is also the min or max.
+        int64_t lower = BucketLowerBound(static_cast<int>(b), s);
+        int64_t upper = BucketUpperBound(static_cast<int>(b), s);
+        double width = static_cast<double>(upper - lower) + 1.0;
+        double frac = (static_cast<double>(target - seen) + 0.5) / static_cast<double>(k);
+        int64_t v = lower + static_cast<int64_t>(width * frac);
+        return std::clamp(v, min(), max_);
       }
+      seen += k;
     }
   }
   return max_;
@@ -93,10 +116,58 @@ std::string Histogram::Summary() const {
   return buf;
 }
 
+namespace {
+// Process-wide category table shared by every Breakdown (single-threaded).
+struct CategoryTable {
+  std::vector<std::string> names;
+  std::map<std::string, int, std::less<>> ids;
+};
+CategoryTable& Categories() {
+  static CategoryTable t;
+  return t;
+}
+}  // namespace
+
+int Breakdown::InternCategory(std::string_view category) {
+  CategoryTable& t = Categories();
+  auto it = t.ids.find(category);
+  if (it != t.ids.end()) return it->second;
+  int id = static_cast<int>(t.names.size());
+  t.names.emplace_back(category);
+  t.ids.emplace(std::string(category), id);
+  return id;
+}
+
+const std::string& Breakdown::CategoryName(int id) {
+  static const std::string kUnknown = "?";
+  CategoryTable& t = Categories();
+  if (id < 0 || id >= static_cast<int>(t.names.size())) return kUnknown;
+  return t.names[static_cast<size_t>(id)];
+}
+
+double Breakdown::MeanPer(int category_id, uint64_t per_count) const {
+  if (per_count == 0 || category_id < 0 ||
+      category_id >= static_cast<int>(by_id_.size())) {
+    return 0.0;
+  }
+  return static_cast<double>(by_id_[static_cast<size_t>(category_id)].total_ns) /
+         static_cast<double>(per_count);
+}
+
 double Breakdown::MeanPer(const std::string& category, uint64_t per_count) const {
-  auto it = entries_.find(category);
-  if (it == entries_.end() || per_count == 0) return 0.0;
-  return static_cast<double>(it->second.total_ns) / static_cast<double>(per_count);
+  auto it = Categories().ids.find(category);
+  if (it == Categories().ids.end()) return 0.0;
+  return MeanPer(it->second, per_count);
+}
+
+std::map<std::string, Breakdown::Entry> Breakdown::entries() const {
+  std::map<std::string, Entry> out;
+  for (size_t i = 0; i < by_id_.size(); ++i) {
+    const Entry& e = by_id_[i];
+    if (e.count == 0 && e.total_ns == 0) continue;
+    out.emplace(CategoryName(static_cast<int>(i)), e);
+  }
+  return out;
 }
 
 void TimeSeries::Add(SimTime t, double value) {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -28,8 +29,10 @@ class Histogram {
   double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
   int64_t sum() const { return sum_; }
 
-  // p in [0, 100]; returns an upper bound of the bucket containing the
-  // p-th percentile sample.
+  // p in [0, 100]; locates the sub-bucket containing the p-th percentile
+  // sample and linearly interpolates within it (samples assumed evenly
+  // spread), clamped to the observed [min, max]. p<=0 yields min, p>=100
+  // yields max.
   int64_t Percentile(double p) const;
 
   void Merge(const Histogram& other);
@@ -40,6 +43,7 @@ class Histogram {
  private:
   static int BucketFor(int64_t value, int* sub);
   static int64_t BucketUpperBound(int bucket, int sub);
+  static int64_t BucketLowerBound(int bucket, int sub);
 
   uint64_t count_ = 0;
   int64_t sum_ = 0;
@@ -50,27 +54,50 @@ class Histogram {
 
 // Named duration accumulators for latency breakdowns (Figs. 6 and 16):
 // each fault phase adds its duration under a fixed category.
+//
+// Category names are interned process-wide into small integer ids; hot
+// callers intern once (e.g. a function-local static) and use the id overload
+// of Add, which is a plain vector index — no per-call string map lookup. The
+// string overloads remain as convenience wrappers for tests and cold paths.
 class Breakdown {
  public:
-  void Add(const std::string& category, SimTime ns) {
-    auto& e = entries_[category];
+  struct Entry {
+    SimTime total_ns = 0;
+    uint64_t count = 0;
+    bool operator==(const Entry&) const = default;
+  };
+
+  // Interns (or looks up) a category name. Ids are dense, stable for the
+  // process lifetime, and shared by all Breakdown instances. Single-threaded,
+  // like the rest of the simulator.
+  static int InternCategory(std::string_view category);
+  static const std::string& CategoryName(int id);
+
+  // Hot path: indexed accumulate.
+  void Add(int category_id, SimTime ns) {
+    if (category_id >= static_cast<int>(by_id_.size())) {
+      by_id_.resize(static_cast<size_t>(category_id) + 1);
+    }
+    Entry& e = by_id_[static_cast<size_t>(category_id)];
     e.total_ns += ns;
     ++e.count;
   }
 
-  struct Entry {
-    SimTime total_ns = 0;
-    uint64_t count = 0;
-  };
+  // String-keyed convenience wrapper (interns on every call).
+  void Add(const std::string& category, SimTime ns) { Add(InternCategory(category), ns); }
 
   // Mean ns per `per_count` events (e.g. per fault).
+  double MeanPer(int category_id, uint64_t per_count) const;
   double MeanPer(const std::string& category, uint64_t per_count) const;
 
-  const std::map<std::string, Entry>& entries() const { return entries_; }
-  void Reset() { entries_.clear(); }
+  // Name-keyed view, materialized for reporting; categories this breakdown
+  // never touched are omitted.
+  std::map<std::string, Entry> entries() const;
+
+  void Reset() { by_id_.clear(); }
 
  private:
-  std::map<std::string, Entry> entries_;
+  std::vector<Entry> by_id_;  // indexed by interned category id
 };
 
 // Fixed-width time-bucketed series (for throughput timelines, Fig. 11).

@@ -1,11 +1,15 @@
 #include "src/sim/sync.h"
 
-// All primitives are header-only templates or inline; this translation unit
-// exists so the library archive always has at least one object for sync.
-
 namespace magesim {
-namespace {
-// Anchor to keep the TU non-empty under all configurations.
-[[maybe_unused]] const int kSyncAnchor = 0;
-}  // namespace
+
+namespace internal {
+LockWaitObserver g_lock_wait_fn = nullptr;
+void* g_lock_wait_ctx = nullptr;
+}  // namespace internal
+
+void SetLockWaitObserver(LockWaitObserver fn, void* ctx) {
+  internal::g_lock_wait_fn = fn;
+  internal::g_lock_wait_ctx = ctx;
+}
+
 }  // namespace magesim

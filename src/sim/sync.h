@@ -20,6 +20,20 @@
 
 namespace magesim {
 
+class SimMutex;
+
+// Observer invoked on every contended lock handoff with the time the new
+// owner spent queued. At most one observer is installed at a time (the
+// sim-time profiler uses this to keep per-lock named wait totals); the hook
+// costs one pointer test when none is installed.
+using LockWaitObserver = void (*)(void* ctx, const SimMutex& m, SimTime waited_ns);
+void SetLockWaitObserver(LockWaitObserver fn, void* ctx);
+
+namespace internal {
+extern LockWaitObserver g_lock_wait_fn;
+extern void* g_lock_wait_ctx;
+}  // namespace internal
+
 struct LockStats {
   uint64_t acquisitions = 0;
   uint64_t contended = 0;
@@ -72,6 +86,9 @@ class SimMutex {
     stats_.total_wait_ns += waited;
     if (waited > stats_.max_wait_ns) stats_.max_wait_ns = waited;
     ++stats_.acquisitions;
+    if (internal::g_lock_wait_fn != nullptr) {
+      internal::g_lock_wait_fn(internal::g_lock_wait_ctx, *this, waited);
+    }
     Engine::current().ScheduleAfter(0, w.h);  // Lock ownership transfers.
   }
 

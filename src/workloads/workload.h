@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/metrics/profiler.h"
 #include "src/paging/kernel.h"
 #include "src/sim/random.h"
 
@@ -91,9 +92,16 @@ class AppThread {
     Core& c = kernel_.topology().core(core_);
     SimTime whole = static_cast<SimTime>(pending_acc_);
     pending_acc_ -= static_cast<double>(whole);  // keep the fractional remainder
-    SimTime d = whole + c.DrainStolenTime();
+    SimTime stolen = c.DrainStolenTime();
     stolen_seen_ = c.stolen_total_ns();
-    return d;
+    // The caller immediately elapses the returned duration, so attributing
+    // here matches the simulated interval: accumulated quanta are app
+    // compute, absorbed flush-IPI handler time is TLB-shootdown overhead.
+    if (SimProfiler* prof = SimProfiler::Get()) {
+      prof->AddPhase(core_, SimPhase::kAppCompute, whole);
+      prof->AddPhase(core_, SimPhase::kTlbWait, stolen);
+    }
+    return whole + stolen;
   }
 
   Task<> AccessSlow(uint64_t vpn, bool write) {

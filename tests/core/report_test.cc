@@ -26,6 +26,20 @@ TEST(TableTest, CsvOutput) {
   EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n3,4\n");
 }
 
+TEST(TableTest, CsvQuotesSpecialCells) {
+  // RFC 4180: cells containing commas, quotes, or newlines are quoted, with
+  // embedded quotes doubled; plain cells stay bare.
+  Table t({"name", "note"});
+  t.AddRow({"a,b", "plain"});
+  t.AddRow({"say \"hi\"", "line1\nline2"});
+  t.AddRow({"cr\rhere", "x"});
+  EXPECT_EQ(t.ToCsv(),
+            "name,note\n"
+            "\"a,b\",plain\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n"
+            "\"cr\rhere\",x\n");
+}
+
 TEST(TableTest, NumberFormatting) {
   EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::Num(3.0, 0), "3");
