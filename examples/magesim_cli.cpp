@@ -3,7 +3,7 @@
 //   magesim_cli --workload=pagerank --system=magelib --far=50 [--threads=48]
 //   magesim_cli --workload=trace --trace-file=prod.trc --system=hermit --far=30
 //   magesim_cli --workload=zipf-trace --system=dilos --far=40 --save-trace=out.trc
-//   magesim_cli --workload=seqscan --system=magelib --trace=events.jsonl \
+//   magesim_cli --workload=seqscan --system=magelib --trace=events.jsonl
 //               --check-interval=100
 //
 // Workloads: pagerank, xsbench, seqscan, gups, metis, memcached,
@@ -15,6 +15,11 @@
 //   --trace-chrome=path   write a chrome://tracing / Perfetto JSON timeline
 //   --check-interval=us   run the invariant checker every N simulated µs
 //   --check               run one invariant check after the simulation drains
+// Fault injection (src/resilience):
+//   --fault-plan=spec     compact spec, JSON, or @file: e.g.
+//                         "brownout@2ms-6ms:bw=0.2;crash@10ms-12ms"
+//   --terminal=poison|fail  policy when a demand read exhausts retries
+//   --seed=N              simulation seed (default 1)
 // Observability:
 //   --metrics-out=path       write the JSON run-report
 //   --metrics-csv=path       write the sampler time series as CSV
@@ -71,7 +76,8 @@ int Usage() {
                "                   [--check-interval=us] [--check]\n"
                "                   [--metrics-out=report.json] [--metrics-csv=series.csv]\n"
                "                   [--metrics-prom=metrics.txt] [--sample-interval-us=N]\n"
-               "                   [--progress]\n"
+               "                   [--progress] [--fault-plan=spec|@file]\n"
+               "                   [--terminal=poison|fail] [--seed=N]\n"
                "workloads: pagerank xsbench seqscan gups metis memcached\n"
                "           zipf-trace mixed-trace trace\n"
                "systems:   ideal hermit dilos magelnx magelib fastswap\n");
@@ -147,6 +153,14 @@ int main(int argc, char** argv) {
   }
   opt.local_mem_ratio = 1.0 - static_cast<double>(far) / 100.0;
   opt.time_limit = 5 * kSecond;  // safety stop for open-ended workloads
+  opt.seed = static_cast<uint64_t>(std::atoll(Get(args, "seed", "1").c_str()));
+  opt.fault_plan = Get(args, "fault-plan", "");
+  std::string terminal = Get(args, "terminal", "poison");
+  if (terminal == "fail") {
+    opt.resilience.terminal = TerminalPolicy::kFailRun;
+  } else if (terminal != "poison") {
+    return Usage();
+  }
   long check_us = std::atol(Get(args, "check-interval", "0").c_str());
   if (check_us > 0) opt.check_interval = check_us * kMicrosecond;
   if (args.count("check") != 0) opt.check_final = true;
@@ -188,7 +202,14 @@ int main(int argc, char** argv) {
     tracer.Install();
   }
 
-  FarMemoryMachine machine(opt, *wl);
+  std::unique_ptr<FarMemoryMachine> machine_ptr;
+  try {
+    machine_ptr = std::make_unique<FarMemoryMachine>(opt, *wl);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  FarMemoryMachine& machine = *machine_ptr;
   RunResult r = machine.Run();
 
   std::printf("workload=%s system=%s far=%d%% threads=%d\n", wname.c_str(), sname.c_str(),
@@ -204,12 +225,32 @@ int main(int argc, char** argv) {
               r.nic_write_gbps);
   std::printf("tlb shootdowns  %s (ipis %llu)\n", r.tlb_shootdown_latency.Summary().c_str(),
               static_cast<unsigned long long>(r.ipis_sent));
+  if (machine.resilience() != nullptr) {
+    std::printf("resilience      retries %llu timeouts %llu breaker-opens %llu "
+                "poisoned %llu wb-lost %llu\n",
+                static_cast<unsigned long long>(r.rdma_retries),
+                static_cast<unsigned long long>(r.rdma_timeouts),
+                static_cast<unsigned long long>(r.breaker_opens),
+                static_cast<unsigned long long>(r.pages_poisoned),
+                static_cast<unsigned long long>(r.writebacks_lost));
+  }
+  if (machine.injector() != nullptr) {
+    std::printf("injected        windows %llu drops %llu errors %llu crashes %llu\n",
+                static_cast<unsigned long long>(r.fault_windows),
+                static_cast<unsigned long long>(r.injected_drops),
+                static_cast<unsigned long long>(r.injected_errors),
+                static_cast<unsigned long long>(r.memnode_crashes));
+  }
   if (machine.metrics() != nullptr && !opt.metrics.report_path.empty()) {
     std::printf("run report      %s\n", opt.metrics.report_path.c_str());
   }
   if (machine.checker() != nullptr) {
     std::printf("%s\n", machine.checker()->Report().c_str());
     if (r.invariant_violations > 0) return 1;
+  }
+  if (r.aborted) {
+    std::fprintf(stderr, "run aborted: %s\n", r.abort_reason.c_str());
+    return 1;
   }
   return 0;
 }

@@ -46,6 +46,8 @@ const char* ViolationClassName(ViolationClass c) {
     case ViolationClass::kEvictFaultOverlap: return "evict_fault_overlap";
     case ViolationClass::kFrameLeak: return "frame_leak";
     case ViolationClass::kStaleRemoteRead: return "stale_remote_read";
+    case ViolationClass::kTransitLeak: return "transit_leak";
+    case ViolationClass::kStuckFault: return "stuck_fault";
     case ViolationClass::kNumClasses: break;
   }
   return "unknown";
@@ -239,6 +241,62 @@ size_t InvariantChecker::CheckNow() {
     Add(ViolationClass::kAccountingLeak, kTraceNoPage, kTraceNoFrame,
         Describe("accounting tracks %" PRIu64 " pages but %" PRIu64
                  " frames are linked", kernel_.accounting().tracked_pages(), linked));
+  }
+
+  // --- Resilience rule: frames in transit are bounded by in-flight faults ---
+  // Each non-present in-flight fault (demand or prefetch) holds at most one
+  // kAllocated frame between Alloc and Map. A retry/poison/abandon path that
+  // bails out without freeing its frame pushes the transit count above the
+  // in-flight count — a leak no single-frame rule can see, because any
+  // individual transit frame looks legitimate.
+  uint64_t transit = 0;
+  for (uint64_t i = 0; i < num_frames; ++i) {
+    const PageFrame& f = pool.frame(static_cast<uint32_t>(i));
+    if (f.state == PageFrame::State::kAllocated && owner[f.pfn] == Owner::kNone) {
+      ++transit;
+    }
+  }
+  uint64_t inflight = 0;
+  for (uint64_t vpn = 0; vpn < pt.num_pages(); ++vpn) {
+    const Pte& pte = pt.At(vpn);
+    if (pte.fault_in_flight && !pte.present) ++inflight;
+  }
+  if (transit > inflight) {
+    Add(ViolationClass::kTransitLeak, kTraceNoPage, kTraceNoFrame,
+        Describe("%" PRIu64 " frames are in transit (kAllocated, unowned) but "
+                 "only %" PRIu64 " faults are in flight: a failed remote op "
+                 "leaked its frame", transit, inflight));
+  }
+
+  return static_cast<size_t>(total_violations_ - before);
+}
+
+size_t InvariantChecker::CheckQuiescent() {
+  uint64_t before = total_violations_;
+  CheckNow();
+
+  PageTable& pt = kernel_.page_table();
+  for (uint64_t vpn = 0; vpn < pt.num_pages(); ++vpn) {
+    if (pt.At(vpn).fault_in_flight) {
+      Add(ViolationClass::kStuckFault, vpn, kTraceNoFrame,
+          Describe("vpn=%" PRIu64 " still has fault_in_flight at quiescence: "
+                   "some path bailed out without EndFault", vpn));
+    }
+  }
+
+  // With no faults in flight, every unowned kAllocated frame is a leak.
+  FramePool& pool = kernel_.frame_pool();
+  std::vector<PageFrame*> cached;
+  kernel_.allocator().AppendCached(&cached);
+  std::vector<bool> in_cache(pool.size(), false);
+  for (PageFrame* f : cached) in_cache[f->pfn] = true;
+  for (uint64_t i = 0; i < pool.size(); ++i) {
+    const PageFrame& f = pool.frame(static_cast<uint32_t>(i));
+    if (f.state == PageFrame::State::kAllocated && !in_cache[f.pfn]) {
+      Add(ViolationClass::kTransitLeak, f.vpn, f.pfn,
+          Describe("pfn=%" PRIu64 " is still kAllocated at quiescence "
+                   "(last vpn=%" PRIu64 "): leaked in transit", f.pfn, f.vpn));
+    }
   }
 
   return static_cast<size_t>(total_violations_ - before);

@@ -45,6 +45,8 @@ enum class ViolationClass : uint8_t {
   kEvictFaultOverlap,  // eviction batch holds a page being faulted in
   kFrameLeak,          // frame owned by nobody in an inexplicable state
   kStaleRemoteRead,    // (opt-in) refault racing an unfinished writeback
+  kTransitLeak,        // more in-transit frames than in-flight faults
+  kStuckFault,         // (quiescent only) fault_in_flight never cleared
   kNumClasses,
 };
 
@@ -77,6 +79,14 @@ class InvariantChecker {
   // violations not already reported by an earlier check (deduplicated by
   // (class, vpn, pfn)).
   size_t CheckNow();
+
+  // Strict end-of-run check for workloads that ran to natural completion
+  // (engine drained, nothing parked mid-fault): everything CheckNow verifies,
+  // plus "no fault left in flight" and "no frame left in transit" — the
+  // resilience invariant that a mid-fault RDMA failure (retry, poison, or
+  // prefetch abandon) never strands a frame or a PTE. Not valid after a
+  // time-limit shutdown, which legally parks coroutines mid-fault.
+  size_t CheckQuiescent();
 
   // Re-checks every `interval` ns of simulated time until shutdown.
   Task<> PeriodicMain(SimTime interval);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <stdexcept>
 
 #include "src/metrics/run_report.h"
 
@@ -20,6 +21,23 @@ void WriteFileOrWarn(const std::string& path, const std::string& contents) {
   }
   std::fwrite(contents.data(), 1, contents.size(), f);
   std::fclose(f);
+}
+
+// Resolves a fault-plan option: "@path" loads the file, anything else is the
+// plan text itself (compact spec or JSON).
+std::string LoadFaultPlanText(const std::string& opt) {
+  if (opt.empty() || opt[0] != '@') return opt;
+  std::string path = opt.substr(1);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::invalid_argument("fault plan file not found: " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
 }
 }  // namespace
 
@@ -51,8 +69,34 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
   }
 
   memnode_ = std::make_unique<MemoryNode>(static_cast<uint64_t>(wss) * kPageSize * 2);
-  memnode_->ReserveDirect(wss * kPageSize);
+  memnode_->RegisterSetup();
+  bool reserved = memnode_->ReserveDirect(wss * kPageSize);
+  assert(reserved);
+  (void)reserved;
   kernel_ = std::make_unique<Kernel>(options_.kernel, *topo_, *tlb_, *nic_, local_pages, wss);
+
+  // Deterministic fault injection + resilient data path.
+  if (const char* env = std::getenv("MAGESIM_FAULT_PLAN")) {
+    options_.fault_plan = env;
+  }
+  std::string plan_text = LoadFaultPlanText(options_.fault_plan);
+  if (!plan_text.empty()) {
+    std::string err;
+    FaultPlan plan;
+    if (!FaultPlan::Parse(plan_text, &plan, &err)) {
+      throw std::invalid_argument("bad fault plan: " + err);
+    }
+    injector_ = std::make_unique<FaultInjector>(std::move(plan), options_.seed);
+    nic_->SetFaultModel(injector_.get());
+    tlb_->SetFaultModel(injector_.get());
+    options_.resilience_enabled = true;
+  }
+  if (options_.resilience_enabled) {
+    ResilienceOptions ro = options_.resilience;
+    if (ro.seed == 0) ro.seed = options_.seed * 0x9e3779b97f4a7c15ULL + 1;
+    resilience_ = std::make_unique<ResilienceManager>(*nic_, ro);
+    kernel_->SetResilience(resilience_.get());
+  }
 
   int threads = workload_.num_threads();
   assert(threads <= topo_->num_cores());
@@ -194,6 +238,9 @@ RunResult FarMemoryMachine::Run() {
     engine_->Spawn(WarmupResetTask(*kernel_, *nic_, *tlb_, options_.stats_warmup));
   }
   kernel_->Start(threads);
+  if (injector_ != nullptr) {
+    injector_->Start(*engine_, memnode_.get());
+  }
   if (checker_ != nullptr && options_.check_interval > 0) {
     engine_->Spawn(checker_->PeriodicMain(options_.check_interval));
   }
@@ -251,6 +298,22 @@ RunResult FarMemoryMachine::Run() {
       r.first_violation = checker_->violations().front().message;
     }
   }
+  if (resilience_ != nullptr) {
+    r.rdma_retries = resilience_->retries();
+    r.rdma_timeouts = resilience_->timeouts();
+    r.breaker_opens = resilience_->read_breaker().opens() + resilience_->write_breaker().opens();
+    r.pages_poisoned = resilience_->pages_poisoned();
+    r.writebacks_lost = resilience_->writebacks_lost();
+    r.prefetch_throttles = resilience_->prefetch_throttles();
+    r.aborted = resilience_->run_failed();
+    r.abort_reason = resilience_->failure_reason();
+  }
+  if (injector_ != nullptr) {
+    r.injected_drops = injector_->drops_injected();
+    r.injected_errors = injector_->errors_injected();
+    r.fault_windows = injector_->windows_opened();
+    r.memnode_crashes = memnode_->crash_episodes();
+  }
   if (metrics_ != nullptr) {
     if (sampler_ != nullptr) {
       sampler_->SampleNow();  // final row at the drain time (dropped if dup)
@@ -293,6 +356,34 @@ void FarMemoryMachine::PublishMetrics(const RunResult& r) {
   if (checker_ != nullptr) {
     m.Counter("check.invariant_checks").Set(r.invariant_checks);
     m.Counter("check.invariant_violations").Set(r.invariant_violations);
+  }
+  if (resilience_ != nullptr) {
+    m.Counter("resilience.rdma_retries").Set(r.rdma_retries);
+    m.Counter("resilience.rdma_timeouts").Set(r.rdma_timeouts);
+    m.Counter("resilience.breaker_opens").Set(r.breaker_opens);
+    m.Counter("resilience.pages_poisoned").Set(r.pages_poisoned);
+    m.Counter("resilience.writebacks_lost").Set(r.writebacks_lost);
+    m.Counter("resilience.backpressure_waits").Set(resilience_->backpressure_waits());
+    m.Counter("resilience.prefetch_throttles").Set(r.prefetch_throttles);
+    m.Counter("resilience.reads_failed").Set(resilience_->reads_failed());
+    m.Counter("resilience.aborted").Set(r.aborted ? 1 : 0);
+    m.Counter("resilience.read_degraded_ns")
+        .Set(static_cast<uint64_t>(resilience_->read_breaker().time_degraded_ns(end_time_)));
+    m.Counter("resilience.write_degraded_ns")
+        .Set(static_cast<uint64_t>(resilience_->write_breaker().time_degraded_ns(end_time_)));
+    m.Hist("resilience.backoff_ns").histogram().Merge(resilience_->backoff_ns());
+    m.Hist("resilience.attempts_per_op").histogram().Merge(resilience_->attempts_per_op());
+  }
+  if (injector_ != nullptr) {
+    m.Counter("inject.drops").Set(r.injected_drops);
+    m.Counter("inject.errors").Set(r.injected_errors);
+    m.Counter("inject.spikes").Set(injector_->spikes_injected());
+    m.Counter("inject.fault_windows").Set(r.fault_windows);
+    m.Counter("inject.memnode_crashes").Set(r.memnode_crashes);
+    m.Counter("nic.reads_dropped").Set(nic_->reads_dropped());
+    m.Counter("nic.writes_dropped").Set(nic_->writes_dropped());
+    m.Counter("nic.reads_errored").Set(nic_->reads_errored());
+    m.Counter("nic.writes_errored").Set(nic_->writes_errored());
   }
   m.Gauge("run.ops_per_sec").Set(r.ops_per_sec);
   m.Gauge("run.fault_mops").Set(r.fault_mops);
@@ -345,6 +436,8 @@ std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
   w.KV("prefetch", kc.prefetch);
   w.KV("virtualized", kc.virtualized);
   w.KV("sample_interval_ns", options_.metrics.sample_interval);
+  w.KV("fault_plan", injector_ != nullptr ? injector_->plan().ToSpec() : std::string());
+  w.KV("resilience", resilience_ != nullptr);
   w.EndObject();
 
   w.Key("run");

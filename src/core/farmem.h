@@ -23,6 +23,8 @@
 #include "src/metrics/sampler.h"
 #include "src/paging/kernel.h"
 #include "src/paging/kernels.h"
+#include "src/resilience/fault_injector.h"
+#include "src/resilience/resilient_rdma.h"
 #include "src/trace/trace.h"
 #include "src/workloads/workload.h"
 
@@ -66,6 +68,20 @@ struct RunResult {
   uint64_t invariant_checks = 0;
   uint64_t invariant_violations = 0;
   std::string first_violation;  // empty when clean
+
+  // Resilience (zero unless a fault plan / the resilient path was enabled).
+  uint64_t rdma_retries = 0;
+  uint64_t rdma_timeouts = 0;
+  uint64_t breaker_opens = 0;  // read + write channels combined
+  uint64_t pages_poisoned = 0;
+  uint64_t writebacks_lost = 0;
+  uint64_t prefetch_throttles = 0;
+  uint64_t injected_drops = 0;
+  uint64_t injected_errors = 0;
+  uint64_t fault_windows = 0;
+  uint64_t memnode_crashes = 0;
+  bool aborted = false;          // TerminalPolicy::kFailRun tripped
+  std::string abort_reason;
 };
 
 class FarMemoryMachine {
@@ -110,6 +126,18 @@ class FarMemoryMachine {
       bool progress = false;
     };
     MetricsOptions metrics;
+
+    // Deterministic fault injection: a FaultPlan spec/JSON string, or
+    // "@path" to load one from a file. The MAGESIM_FAULT_PLAN environment
+    // variable overrides this. Parse errors throw std::invalid_argument from
+    // the constructor. A non-empty plan also enables the resilient data path.
+    std::string fault_plan;
+    // Attach the resilient data path (deadlines/retries/breakers) even with
+    // no fault plan — e.g. to measure its healthy-path overhead.
+    bool resilience_enabled = false;
+    // Retry/breaker/terminal-policy tuning. `resilience.seed == 0` derives a
+    // stream from Options::seed.
+    ResilienceOptions resilience;
   };
 
   FarMemoryMachine(Options options, Workload& workload);
@@ -126,6 +154,10 @@ class FarMemoryMachine {
   const std::vector<std::unique_ptr<AppThread>>& threads() const { return threads_; }
   // Null unless checking was enabled via Options or MAGESIM_CHECK_INTERVAL_US.
   InvariantChecker* checker() { return checker_.get(); }
+  // Null unless a fault plan / resilience_enabled was set.
+  ResilienceManager* resilience() { return resilience_.get(); }
+  FaultInjector* injector() { return injector_.get(); }
+  MemoryNode& memnode() { return *memnode_; }
   // Null unless metrics were enabled via Options or MAGESIM_METRICS_*.
   MetricsRegistry* metrics() { return metrics_.get(); }
   SimProfiler* profiler() { return profiler_.get(); }
@@ -150,6 +182,8 @@ class FarMemoryMachine {
   std::unique_ptr<RdmaNic> nic_;
   std::unique_ptr<MemoryNode> memnode_;
   std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ResilienceManager> resilience_;
   // Recent-event window feeding violation reports; registered with the
   // installed Tracer (if any) for the duration of the run.
   std::unique_ptr<TraceRingBuffer> trace_ring_;

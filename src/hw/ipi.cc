@@ -78,6 +78,9 @@ Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, 
     ++pending_ipis_;
     SimTime delivery = topo_.SameSocket(initiator, t) ? p.ipi_delivery_same_socket_ns
                                                       : p.ipi_delivery_cross_socket_ns;
+    if (fault_model_ != nullptr) {
+      delivery += fault_model_->ExtraIpiDelayNs(eng.now());
+    }
     eng.Spawn(DeliverIpi(t, num_pages, eng.now(), op, delivery));
   }
   co_return op;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/hw/fault_hooks.h"
 #include "src/hw/topology.h"
 #include "src/sim/engine.h"
 #include "src/sim/stats.h"
@@ -72,11 +73,15 @@ class TlbShootdownManager {
   // Handler cost for flushing `num_pages` entries at one core.
   SimTime HandlerCost(int num_pages) const;
 
+  // Optional failure model adding interconnect delay per IPI; nullptr disables.
+  void SetFaultModel(HwFaultModel* model) { fault_model_ = model; }
+
  private:
   Task<> DeliverIpi(CoreId target, int num_pages, SimTime send_time,
                     std::shared_ptr<ShootdownOp> op, SimTime delivery_ns);
 
   Topology& topo_;
+  HwFaultModel* fault_model_ = nullptr;
   std::vector<CoreId> targets_;
   // Per-core interrupt serialization: a core handles one flush IPI at a time.
   std::vector<std::unique_ptr<SimMutex>> irq_serializers_;

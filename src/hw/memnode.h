@@ -22,24 +22,44 @@ class MemoryNode {
   // once, off the data path.
   Task<> Setup();
 
+  // Instant variant for machine construction, where registration happens
+  // before the engine starts running (the 2 ms control-path cost is outside
+  // the measured interval either way).
+  void RegisterSetup() { registered_ = true; }
+
   bool registered() const { return registered_; }
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t capacity_pages() const { return capacity_ / kPageSize; }
 
   // Linear offset-based reservation used by VMA-level direct mapping: the
   // region [0, wss) mirrors the application's address range one-to-one, so no
-  // per-page remote allocation is ever needed (§4.2.3).
+  // per-page remote allocation is ever needed (§4.2.3). Reservations
+  // accumulate; a request is rejected when the region is not yet registered
+  // or when it would exceed the remaining capacity.
   bool ReserveDirect(uint64_t bytes) {
-    if (bytes > capacity_) return false;
-    direct_reserved_ = bytes;
+    if (!registered_) return false;
+    if (bytes > capacity_ - direct_reserved_) return false;
+    direct_reserved_ += bytes;
     return true;
   }
   uint64_t direct_reserved() const { return direct_reserved_; }
+
+  // Availability, driven by injected crash/recover episodes. Steady-state
+  // data movement is one-sided, so op outcomes are modeled at the NIC; this
+  // flag is observability plus a hook for control-path checks.
+  void SetAvailable(bool up) {
+    if (available_ && !up) ++crash_episodes_;
+    available_ = up;
+  }
+  bool available() const { return available_; }
+  uint64_t crash_episodes() const { return crash_episodes_; }
 
  private:
   uint64_t capacity_;
   uint64_t direct_reserved_ = 0;
   bool registered_ = false;
+  bool available_ = true;
+  uint64_t crash_episodes_ = 0;
 };
 
 }  // namespace magesim

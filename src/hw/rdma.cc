@@ -7,26 +7,51 @@ namespace magesim {
 RdmaNic::RdmaNic(const MachineParams& params) : params_(params) {}
 
 Task<> RdmaNic::SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when,
-                         TraceEventType done_ev, SimTime op_latency) {
+                         TraceEventType done_ev, SimTime op_latency,
+                         RdmaCompletion::Status status) {
   co_await Delay{when - Engine::current().now()};
   TraceEmit(done_ev, -1, kTraceNoPage, kTraceNoFrame, static_cast<uint64_t>(op_latency));
-  c->Signal();
+  c->Signal(status);
 }
 
 const RdmaNic::Brownout* RdmaNic::ActiveBrownout(SimTime now) const {
-  for (const Brownout& b : brownouts_) {
-    if (now >= b.from && now < b.until) return &b;
+  while (brownout_cursor_ < brownouts_.size() &&
+         brownouts_[brownout_cursor_].until <= now) {
+    ++brownout_cursor_;
+  }
+  if (brownout_cursor_ < brownouts_.size()) {
+    const Brownout& b = brownouts_[brownout_cursor_];
+    if (now >= b.from) return &b;
   }
   return nullptr;
 }
 
 void RdmaNic::InjectBrownout(SimTime from, SimTime until, double bandwidth_factor,
                              SimTime extra_latency_ns) {
+  if (until <= from) return;
   brownouts_.push_back(Brownout{from, until, bandwidth_factor, extra_latency_ns});
+  std::sort(brownouts_.begin(), brownouts_.end(),
+            [](const Brownout& a, const Brownout& b) { return a.from < b.from; });
+  // Merge overlapping/adjacent windows so the active-window lookup can assume
+  // sorted disjoint intervals. Overlap degrades to the worst of both.
+  std::vector<Brownout> merged;
+  merged.reserve(brownouts_.size());
+  for (const Brownout& b : brownouts_) {
+    if (!merged.empty() && b.from <= merged.back().until) {
+      Brownout& m = merged.back();
+      m.until = std::max(m.until, b.until);
+      m.bandwidth_factor = std::min(m.bandwidth_factor, b.bandwidth_factor);
+      m.extra_latency_ns = std::max(m.extra_latency_ns, b.extra_latency_ns);
+    } else {
+      merged.push_back(b);
+    }
+  }
+  brownouts_ = std::move(merged);
+  brownout_cursor_ = 0;
 }
 
 std::shared_ptr<RdmaCompletion> RdmaNic::Post(Channel& ch, uint64_t bytes, Histogram& lat,
-                                              Histogram* queueing, TraceEventType done_ev) {
+                                              Histogram* queueing, bool is_write) {
   Engine& eng = Engine::current();
   SimTime now = eng.now();
   double rate = params_.nic_gbps;
@@ -35,18 +60,53 @@ std::shared_ptr<RdmaCompletion> RdmaNic::Post(Channel& ch, uint64_t bytes, Histo
     rate *= b->bandwidth_factor;
     extra = b->extra_latency_ns;
   }
+  RdmaOpFate fate;
+  if (fault_model_ != nullptr) {
+    fate = fault_model_->OnRdmaPost(is_write, now);
+    rate *= fate.bandwidth_factor;
+    extra += fate.extra_latency_ns;
+  }
+  if (rate < 1e-6) rate = 1e-6;
   SimTime wire = static_cast<SimTime>(
       std::max<double>(1.0, static_cast<double>(bytes) * 8.0 / rate));
   SimTime start = std::max(now, ch.next_free);
   ch.next_free = start + wire;
   ch.busy_ns += wire;
   SimTime completes = start + wire + params_.rdma_base_ns + extra;
+  auto c = std::make_shared<RdmaCompletion>(completes);
+  if (fate.drop) {
+    // The op still consumed channel time (the payload may even have reached
+    // the far side) but its completion is lost: the event never fires and no
+    // latency is recorded.
+    c->MarkLost();
+    if (is_write) {
+      ++writes_dropped_;
+    } else {
+      ++reads_dropped_;
+    }
+    TraceEmit(is_write ? TraceEventType::kRdmaWriteDrop : TraceEventType::kRdmaReadDrop, -1,
+              kTraceNoPage, kTraceNoFrame, bytes);
+    return c;
+  }
   lat.Record(completes - now);
   if (queueing != nullptr) {
     queueing->Record(start - now);
   }
-  auto c = std::make_shared<RdmaCompletion>(completes);
-  eng.Spawn(SignalAt(c, completes, done_ev, completes - now));
+  TraceEventType done_ev;
+  RdmaCompletion::Status status;
+  if (fate.error) {
+    done_ev = is_write ? TraceEventType::kRdmaWriteError : TraceEventType::kRdmaReadError;
+    status = RdmaCompletion::Status::kError;
+    if (is_write) {
+      ++writes_errored_;
+    } else {
+      ++reads_errored_;
+    }
+  } else {
+    done_ev = is_write ? TraceEventType::kRdmaWriteDone : TraceEventType::kRdmaReadDone;
+    status = RdmaCompletion::Status::kOk;
+  }
+  eng.Spawn(SignalAt(c, completes, done_ev, completes - now, status));
   return c;
 }
 
@@ -54,14 +114,14 @@ std::shared_ptr<RdmaCompletion> RdmaNic::PostRead(uint64_t bytes) {
   bytes_read_ += bytes;
   ++reads_posted_;
   TraceEmit(TraceEventType::kRdmaReadPost, -1, kTraceNoPage, kTraceNoFrame, bytes);
-  return Post(read_ch_, bytes, read_latency_, &read_queueing_, TraceEventType::kRdmaReadDone);
+  return Post(read_ch_, bytes, read_latency_, &read_queueing_, /*is_write=*/false);
 }
 
 std::shared_ptr<RdmaCompletion> RdmaNic::PostWrite(uint64_t bytes) {
   bytes_written_ += bytes;
   ++writes_posted_;
   TraceEmit(TraceEventType::kRdmaWritePost, -1, kTraceNoPage, kTraceNoFrame, bytes);
-  return Post(write_ch_, bytes, write_latency_, nullptr, TraceEventType::kRdmaWriteDone);
+  return Post(write_ch_, bytes, write_latency_, nullptr, /*is_write=*/true);
 }
 
 Task<> RdmaNic::Read(uint64_t bytes) {
@@ -102,6 +162,8 @@ void RdmaNic::ResetStats() {
   write_ch_.busy_ns = 0;
   bytes_read_ = bytes_written_ = 0;
   reads_posted_ = writes_posted_ = 0;
+  reads_dropped_ = writes_dropped_ = 0;
+  reads_errored_ = writes_errored_ = 0;
   read_latency_.Reset();
   write_latency_.Reset();
   read_queueing_.Reset();

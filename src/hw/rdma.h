@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/hw/fault_hooks.h"
 #include "src/hw/machine_params.h"
 #include "src/sim/engine.h"
 #include "src/sim/stats.h"
@@ -23,15 +24,31 @@ namespace magesim {
 // Completion handle for asynchronously posted operations.
 class RdmaCompletion {
  public:
+  enum class Status : uint8_t {
+    kPending,  // not yet signaled
+    kOk,       // completed successfully
+    kError,    // completion arrived flagged failed (remote NAK / CQE error)
+    kLost,     // completion never arrives (lost CQE / dead memory node)
+  };
+
   explicit RdmaCompletion(SimTime completes_at) : completes_at_(completes_at) {}
   SimEvent::Awaiter Wait() { return event_.Wait(); }
-  void Signal() { event_.Set(); }
+  void Signal(Status s = Status::kOk) {
+    status_ = s;
+    event_.Set();
+  }
   bool done() const { return event_.is_set(); }
+  bool ok() const { return status_ == Status::kOk; }
+  Status status() const { return status_; }
+  // A dropped op is marked lost at post time but its event never fires; a
+  // caller that must survive drops pairs Wait() with its own deadline.
+  void MarkLost() { status_ = Status::kLost; }
   SimTime completes_at() const { return completes_at_; }
 
  private:
   SimEvent event_;
   SimTime completes_at_;
+  Status status_ = Status::kPending;
 };
 
 class RdmaNic {
@@ -51,14 +68,25 @@ class RdmaNic {
   // Failure injection: between [from, until) the link runs at
   // `bandwidth_factor` of its rate and ops pay `extra_latency_ns` —
   // modeling congestion from a bursty neighbor, link retraining, or a
-  // struggling memory node. Multiple windows may be scheduled.
+  // struggling memory node. Multiple windows may be scheduled; overlapping
+  // windows are merged on insert (min factor, max extra latency).
   void InjectBrownout(SimTime from, SimTime until, double bandwidth_factor,
                       SimTime extra_latency_ns);
+
+  // Optional per-op failure model (scripted injection); nullptr disables.
+  void SetFaultModel(HwFaultModel* model) { fault_model_ = model; }
+  HwFaultModel* fault_model() const { return fault_model_; }
+
+  size_t num_brownout_windows() const { return brownouts_.size(); }
 
   uint64_t bytes_read() const { return bytes_read_; }
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t reads_posted() const { return reads_posted_; }
   uint64_t writes_posted() const { return writes_posted_; }
+  uint64_t reads_dropped() const { return reads_dropped_; }
+  uint64_t writes_dropped() const { return writes_dropped_; }
+  uint64_t reads_errored() const { return reads_errored_; }
+  uint64_t writes_errored() const { return writes_errored_; }
 
   // End-to-end op latency (queueing + wire + base).
   const Histogram& read_latency() const { return read_latency_; }
@@ -95,16 +123,21 @@ class RdmaNic {
     SimTime extra_latency_ns;
   };
 
-  // Effective rate/latency adjustments at time `now`.
+  // Effective rate/latency adjustments at time `now`. Windows are sorted and
+  // disjoint (merged on insert); post times are non-decreasing, so a cursor
+  // skips expired windows once — O(1) amortized per posted op.
   const Brownout* ActiveBrownout(SimTime now) const;
 
   std::shared_ptr<RdmaCompletion> Post(Channel& ch, uint64_t bytes, Histogram& lat,
-                                       Histogram* queueing, TraceEventType done_ev);
+                                       Histogram* queueing, bool is_write);
   static Task<> SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when,
-                         TraceEventType done_ev, SimTime op_latency);
+                         TraceEventType done_ev, SimTime op_latency,
+                         RdmaCompletion::Status status);
 
   MachineParams params_;
   std::vector<Brownout> brownouts_;
+  mutable size_t brownout_cursor_ = 0;
+  HwFaultModel* fault_model_ = nullptr;
   Channel read_ch_;
   Channel write_ch_;
   SimTime stats_epoch_ = 0;
@@ -113,6 +146,10 @@ class RdmaNic {
   uint64_t bytes_written_ = 0;
   uint64_t reads_posted_ = 0;
   uint64_t writes_posted_ = 0;
+  uint64_t reads_dropped_ = 0;
+  uint64_t writes_dropped_ = 0;
+  uint64_t reads_errored_ = 0;
+  uint64_t writes_errored_ = 0;
   Histogram read_latency_;
   Histogram write_latency_;
   Histogram read_queueing_;

@@ -1,6 +1,7 @@
 // Sequential (non-pipelined) evictor threads and the Hermit-style feedback
 // controller.
 #include "src/paging/kernel.h"
+#include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
 
 namespace magesim {
@@ -27,6 +28,11 @@ Task<> Kernel::SequentialEvictorMain(int evictor_id, CoreId core) {
         co_await Delay{config_.evictor_wake_cost_ns};
       }
       continue;
+    }
+    if (resilience_ != nullptr && resilience_->write_degraded()) {
+      // Write channel is degraded: pause briefly instead of hammering the
+      // open breaker; the next writeback acts as the half-open probe.
+      co_await resilience_->EvictionBackpressure(evictor_id);
     }
     size_t got = co_await EvictBatchSequential(evictor_id, core,
                                                static_cast<size_t>(config_.evict_batch_pages));

@@ -4,6 +4,7 @@
 #include "src/metrics/profiler.h"
 #include "src/paging/kernel.h"
 #include "src/paging/prefetcher.h"
+#include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
 #include "src/trace/trace.h"
 
@@ -43,7 +44,12 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     TraceEmit(TraceEventType::kFrameAlloc, core, vpn, f->pfn);
     {
       PhaseScope ps(core, SimPhase::kRdmaWait);
-      co_await nic_.Read(kPageSize);
+      if (resilience_ != nullptr) {
+        RemoteOpStatus st = co_await resilience_->ReadPage(core, vpn, /*allow_poison=*/true);
+        if (st == RemoteOpStatus::kPoisoned) ++stats_.pages_poisoned;
+      } else {
+        co_await nic_.Read(kPageSize);
+      }
     }
     pt_->Map(vpn, f);
     TraceEmit(TraceEventType::kPageMap, core, vpn, f->pfn);
@@ -116,7 +122,12 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
       auto g = co_await rdma_stack_lock_.Scoped();
       co_await Delay{config_.rdma_stack_cs_ns};
     }
-    co_await nic_.Read(kPageSize);
+    if (resilience_ != nullptr) {
+      RemoteOpStatus st = co_await resilience_->ReadPage(core, vpn, /*allow_poison=*/true);
+      if (st == RemoteOpStatus::kPoisoned) ++stats_.pages_poisoned;
+    } else {
+      co_await nic_.Read(kPageSize);
+    }
   }
   stats_.fault_breakdown.Add(kCatRdma, eng.now() - r0);
 

@@ -9,6 +9,7 @@
 #include "src/accounting/s3fifo.h"
 #include "src/metrics/profiler.h"
 #include "src/paging/prefetcher.h"
+#include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
 #include "src/trace/trace.h"
 
@@ -302,16 +303,25 @@ Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
   co_return got;
 }
 
-std::shared_ptr<RdmaCompletion> Kernel::PostWriteback(const std::vector<PageFrame*>& victims) {
-  std::shared_ptr<RdmaCompletion> last;
+size_t Kernel::CountDirtyForWriteback(const std::vector<PageFrame*>& victims) {
+  size_t dirty = 0;
   for (PageFrame* f : victims) {
     uint64_t vpn = f->vpn;  // Unmap preserved frame->vpn for writeback routing
     if (f->dirty || !remote_valid_[vpn]) {
-      last = nic_.PostWrite(kPageSize);
+      ++dirty;
       remote_valid_[vpn] = true;
     } else {
       ++stats_.clean_reclaims;
     }
+  }
+  return dirty;
+}
+
+std::shared_ptr<RdmaCompletion> Kernel::PostWriteback(const std::vector<PageFrame*>& victims) {
+  size_t dirty = CountDirtyForWriteback(victims);
+  std::shared_ptr<RdmaCompletion> last;
+  for (size_t i = 0; i < dirty; ++i) {
+    last = nic_.PostWrite(kPageSize);
   }
   return last;
 }
@@ -339,13 +349,23 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
     sync_attr->Add(kCatTlb, Engine::current().now() - s0);
   }
 
-  // EP4: write back dirty pages.
+  // EP4: write back dirty pages. The resilient path awaits every completion
+  // with a deadline and retries failures; pages whose writes are lost for
+  // good are counted and their frames still reclaimed, so eviction always
+  // makes progress.
   SimTime w0 = Engine::current().now();
   {
     PhaseScope ps(core, SimPhase::kRdmaWait);
-    auto last = PostWriteback(victims);
-    if (last != nullptr) {
-      co_await last->Wait();
+    if (resilience_ != nullptr) {
+      size_t dirty = CountDirtyForWriteback(victims);
+      if (dirty > 0) {
+        co_await resilience_->WritePages(evictor_id, dirty);
+      }
+    } else {
+      auto last = PostWriteback(victims);
+      if (last != nullptr) {
+        co_await last->Wait();
+      }
     }
   }
   if (sync_attr != nullptr) {

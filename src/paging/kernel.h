@@ -23,6 +23,8 @@
 namespace magesim {
 
 class Prefetcher;
+class ResilienceManager;
+struct WritebackTicket;
 
 struct KernelStats {
   uint64_t faults = 0;           // major faults actually serviced
@@ -35,6 +37,8 @@ struct KernelStats {
   uint64_t clean_reclaims = 0;   // evictions that skipped the RDMA write
   uint64_t prefetched_pages = 0;
   uint64_t prefetch_hits = 0;    // fast hits on previously prefetched pages
+  uint64_t pages_poisoned = 0;   // demand reads that exhausted their retries
+  uint64_t prefetches_abandoned = 0;  // speculative reads unwound on failure
 
   Histogram fault_latency;       // end-to-end major-fault latency
   Histogram sync_evict_latency;
@@ -105,6 +109,11 @@ class Kernel {
   RdmaNic& nic() { return nic_; }
   Topology& topology() { return topo_; }
   TlbShootdownManager& tlb() { return tlb_; }
+
+  // Attaches the resilient data path (timeouts/retries/breakers). With none
+  // attached every remote op takes the legacy direct-NIC path unchanged.
+  void SetResilience(ResilienceManager* r) { resilience_ = r; }
+  ResilienceManager* resilience() { return resilience_; }
   uint64_t FaultsOnCore(CoreId c) const { return faults_per_core_[static_cast<size_t>(c)]; }
 
   // Watermark thresholds in pages.
@@ -132,11 +141,14 @@ class Kernel {
   // One inline (synchronous) eviction from the fault path.
   Task<> SyncEvict(CoreId core);
 
-  // Batch state for the pipelined evictor.
+  // Batch state for the pipelined evictor. Exactly one of write_completion /
+  // write_ticket is set once writeback is posted (ticket when the resilient
+  // path handles the batch).
   struct EvictionBatch {
     std::vector<PageFrame*> victims;
     std::shared_ptr<ShootdownOp> shootdown;
     std::shared_ptr<RdmaCompletion> write_completion;
+    std::shared_ptr<WritebackTicket> write_ticket;
   };
 
   // Wakes sleeping evictors when free pages dip below the low watermark.
@@ -149,6 +161,10 @@ class Kernel {
   // Unmaps victims, assigns remote slots. Returns unmapped frames via `out`.
   Task<size_t> PrepareVictims(int evictor_id, CoreId core, size_t batch,
                               std::vector<PageFrame*>* out, Breakdown* sync_attr = nullptr);
+
+  // Marks remote copies valid, counts clean reclaims, and returns how many
+  // victims need an RDMA write.
+  size_t CountDirtyForWriteback(const std::vector<PageFrame*>& victims);
 
   // Writes back dirty victims (returns the last completion, or nullptr if all
   // clean) and marks remote copies valid.
@@ -171,6 +187,7 @@ class Kernel {
   std::unique_ptr<SwapAllocator> swap_;  // null when direct-mapped
   DirectMapping direct_map_;
   std::unique_ptr<Prefetcher> prefetcher_;
+  ResilienceManager* resilience_ = nullptr;  // owned by FarMemoryMachine
 
   // Remote copy validity per vpn (clean reclaim optimization).
   std::vector<bool> remote_valid_;

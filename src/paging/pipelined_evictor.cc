@@ -11,6 +11,7 @@
 
 #include "src/metrics/profiler.h"
 #include "src/paging/kernel.h"
+#include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
 #include "src/trace/trace.h"
 
@@ -31,6 +32,11 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       if (eng.shutdown_requested()) co_return;
       co_await evictor_wake_.Wait();
       continue;
+    }
+    if (pressure && resilience_ != nullptr && resilience_->write_degraded()) {
+      // Write channel degraded: pause once instead of piling batches onto an
+      // open breaker; the next writeback acts as the half-open probe.
+      co_await resilience_->EvictionBackpressure(evictor_id);
     }
 
     // Stage 1: slice a batch off the accounting lists, unmap, allocate
@@ -69,6 +75,9 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       if (prevprev->write_completion != nullptr) {
         PhaseScope ps(core, SimPhase::kRdmaWait);
         co_await prevprev->write_completion->Wait();
+      } else if (prevprev->write_ticket != nullptr) {
+        PhaseScope ps(core, SimPhase::kRdmaWait);
+        co_await prevprev->write_ticket->done.Wait();
       }
       if (Tracer::Get() != nullptr) {
         for (PageFrame* f : prevprev->victims) {
@@ -88,7 +97,14 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       prevprev.reset();
     }
     if (prev.has_value()) {
-      prev->write_completion = PostWriteback(prev->victims);
+      if (resilience_ != nullptr) {
+        size_t dirty = CountDirtyForWriteback(prev->victims);
+        if (dirty > 0) {
+          prev->write_ticket = resilience_->SpawnWritePages(evictor_id, dirty);
+        }
+      } else {
+        prev->write_completion = PostWriteback(prev->victims);
+      }
       prevprev = std::move(prev);
       prev.reset();
     }

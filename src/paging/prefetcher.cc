@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/paging/kernel.h"
+#include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
 #include "src/trace/trace.h"
 
@@ -45,6 +46,12 @@ Prefetcher::Stream* Prefetcher::MatchStream(CoreHistory& h, uint64_t vpn, bool* 
 }
 
 void Prefetcher::OnFault(CoreId core, uint64_t vpn) {
+  // Auto-throttle: while the read channel is degraded, speculative traffic
+  // would only compete with demand faults for a failing link.
+  if (kernel_.resilience() != nullptr && kernel_.resilience()->read_degraded()) {
+    kernel_.resilience()->NotePrefetchThrottle(core, vpn);
+    return;
+  }
   CoreHistory& h = history_[static_cast<size_t>(core)];
   bool is_expected = false;
   Stream& s = *MatchStream(h, vpn, &is_expected);
@@ -99,7 +106,23 @@ Task<> Prefetcher::PrefetchRange(CoreId core, uint64_t start_vpn, int64_t stride
     // how prefetching backfires for those systems (§6.2).
     PageFrame* frame = co_await k.AllocWithPressure(core, vpn);
     TraceEmit(TraceEventType::kFrameAlloc, core, vpn, frame->pfn);
-    co_await k.nic().Read(kPageSize);
+    if (k.resilience() != nullptr) {
+      RemoteOpStatus st =
+          co_await k.resilience()->ReadPage(core, vpn, /*allow_poison=*/false);
+      if (st == RemoteOpStatus::kAbandoned) {
+        // Speculative read failed for good: unwind instead of poisoning.
+        // Free the frame, release the in-flight fault, and stop reading
+        // ahead on this (evidently unhealthy) channel.
+        ++k.mutable_stats().prefetches_abandoned;
+        TraceEmit(TraceEventType::kFrameFree, core, vpn, frame->pfn);
+        std::vector<PageFrame*> unwound{frame};
+        co_await k.allocator().FreeBatch(core, unwound);
+        k.page_table().EndFault(vpn);
+        co_return;
+      }
+    } else {
+      co_await k.nic().Read(kPageSize);
+    }
     co_await Delay{k.topology().params().pte_update_ns};
     k.page_table().Map(vpn, frame);
     TraceEmit(TraceEventType::kPageMap, core, vpn, frame->pfn);

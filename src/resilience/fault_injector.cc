@@ -1,0 +1,133 @@
+#include "src/resilience/fault_injector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace magesim {
+
+namespace {
+
+bool ChannelMatches(FaultChannel c, bool is_write) {
+  uint8_t bit = is_write ? static_cast<uint8_t>(FaultChannel::kWrite)
+                         : static_cast<uint8_t>(FaultChannel::kRead);
+  return (static_cast<uint8_t>(c) & bit) != 0;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed ^ 0xfa17'1e57'0d15'ea5eULL) {}
+
+RdmaOpFate FaultInjector::OnRdmaPost(bool is_write, SimTime now) {
+  RdmaOpFate fate;
+  const auto& ws = plan_.windows();
+  while (cursor_ < ws.size() && ws[cursor_].until <= now) ++cursor_;
+  for (size_t i = cursor_; i < ws.size() && ws[i].from <= now; ++i) {
+    const FaultWindow& w = ws[i];
+    if (now >= w.until) continue;  // short window nested inside a longer one
+    switch (w.kind) {
+      case FaultKind::kBrownout:
+        fate.bandwidth_factor *= w.bandwidth_factor;
+        fate.extra_latency_ns += w.extra_latency_ns;
+        break;
+      case FaultKind::kDegrade:
+        fate.bandwidth_factor *= w.bandwidth_factor;
+        fate.extra_latency_ns += w.extra_latency_ns;
+        if (w.probability > 0.0 && rng_.NextBool(w.probability) && !fate.error) {
+          fate.error = true;
+          ++errors_;
+        }
+        break;
+      case FaultKind::kDrop:
+        if (ChannelMatches(w.channel, is_write) && rng_.NextBool(w.probability) &&
+            !fate.drop) {
+          fate.drop = true;
+          ++drops_;
+        }
+        break;
+      case FaultKind::kError:
+        if (ChannelMatches(w.channel, is_write) && rng_.NextBool(w.probability) &&
+            !fate.error) {
+          fate.error = true;
+          ++errors_;
+        }
+        break;
+      case FaultKind::kSpike:
+        if (rng_.NextBool(w.probability)) {
+          fate.extra_latency_ns += w.extra_latency_ns;
+          ++spikes_;
+        }
+        break;
+      case FaultKind::kCrash:
+        if (!fate.drop) {
+          fate.drop = true;
+          ++drops_;
+        }
+        break;
+      case FaultKind::kIpiDelay:
+      case FaultKind::kNumKinds:
+        break;
+    }
+  }
+  return fate;
+}
+
+SimTime FaultInjector::ExtraIpiDelayNs(SimTime now) {
+  SimTime extra = 0;
+  const auto& ws = plan_.windows();
+  while (cursor_ < ws.size() && ws[cursor_].until <= now) ++cursor_;
+  for (size_t i = cursor_; i < ws.size() && ws[i].from <= now; ++i) {
+    const FaultWindow& w = ws[i];
+    if (now >= w.until) continue;
+    if (w.kind == FaultKind::kIpiDelay) extra += w.extra_latency_ns;
+  }
+  return extra;
+}
+
+void FaultInjector::Start(Engine& eng, MemoryNode* memnode) {
+  if (plan_.empty()) return;
+  eng.Spawn(EpisodeMain(memnode));
+}
+
+Task<> FaultInjector::EpisodeMain(MemoryNode* memnode) {
+  // Window opens and crash-window closes, processed in global time order.
+  struct Marker {
+    SimTime t;
+    int type;  // 0 = window opens, 1 = crash window closes
+    size_t idx;
+  };
+  std::vector<Marker> marks;
+  const auto& ws = plan_.windows();
+  for (size_t i = 0; i < ws.size(); ++i) {
+    marks.push_back({ws[i].from, 0, i});
+    if (ws[i].kind == FaultKind::kCrash) marks.push_back({ws[i].until, 1, i});
+  }
+  std::sort(marks.begin(), marks.end(), [](const Marker& a, const Marker& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.type != b.type) return a.type < b.type;
+    return a.idx < b.idx;
+  });
+
+  int active_crashes = 0;
+  for (const Marker& m : marks) {
+    Engine& eng = Engine::current();
+    if (m.t > eng.now()) co_await Delay{m.t - eng.now()};
+    const FaultWindow& w = ws[m.idx];
+    if (m.type == 0) {
+      ++windows_opened_;
+      TraceEmit(TraceEventType::kFaultWindow, -1, kTraceNoPage, kTraceNoFrame,
+                static_cast<uint64_t>(w.kind));
+      if (w.kind == FaultKind::kCrash && active_crashes++ == 0 && memnode != nullptr) {
+        memnode->SetAvailable(false);
+        TraceEmit(TraceEventType::kMemnodeCrash);
+      }
+    } else if (--active_crashes == 0 && memnode != nullptr) {
+      memnode->SetAvailable(true);
+      TraceEmit(TraceEventType::kMemnodeRecover);
+    }
+  }
+}
+
+}  // namespace magesim

@@ -1,0 +1,477 @@
+#include "src/resilience/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace magesim {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool KindFromName(const std::string& name, FaultKind* out) {
+  for (int i = 0; i < static_cast<int>(FaultKind::kNumKinds); ++i) {
+    FaultKind k = static_cast<FaultKind>(i);
+    if (name == FaultKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ChannelFromName(const std::string& name, FaultChannel* out) {
+  if (name == "read") {
+    *out = FaultChannel::kRead;
+  } else if (name == "write") {
+    *out = FaultChannel::kWrite;
+  } else if (name == "both") {
+    *out = FaultChannel::kBoth;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ChannelName(FaultChannel c) {
+  switch (c) {
+    case FaultChannel::kRead: return "read";
+    case FaultChannel::kWrite: return "write";
+    case FaultChannel::kBoth: return "both";
+  }
+  return "both";
+}
+
+// Shortest decimal rendering that parses back to exactly the same double.
+std::string FormatDouble(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// Each kind starts from sensible non-noop defaults so terse specs like
+// "brownout@2ms-6ms" are meaningful; explicit keys override.
+void ApplyKindDefaults(FaultWindow* w) {
+  switch (w->kind) {
+    case FaultKind::kBrownout:
+      w->bandwidth_factor = 0.25;
+      break;
+    case FaultKind::kDegrade:
+      w->bandwidth_factor = 0.5;
+      w->probability = 0.05;
+      break;
+    case FaultKind::kDrop:
+    case FaultKind::kError:
+      w->probability = 0.01;
+      break;
+    case FaultKind::kSpike:
+      w->extra_latency_ns = 20 * kMicrosecond;
+      break;
+    case FaultKind::kIpiDelay:
+      w->extra_latency_ns = 10 * kMicrosecond;
+      break;
+    case FaultKind::kCrash:
+    case FaultKind::kNumKinds:
+      break;
+  }
+}
+
+bool SetWindowKey(FaultWindow* w, const std::string& key, const std::string& value,
+                  std::string* error) {
+  if (key == "p") {
+    double p;
+    if (!ParseDouble(value, &p) || p < 0.0 || p > 1.0) {
+      SetError(error, "bad probability '" + value + "' (want 0..1)");
+      return false;
+    }
+    w->probability = p;
+  } else if (key == "bw") {
+    double bw;
+    if (!ParseDouble(value, &bw) || bw <= 0.0) {
+      SetError(error, "bad bandwidth factor '" + value + "' (want > 0)");
+      return false;
+    }
+    w->bandwidth_factor = bw;
+  } else if (key == "lat") {
+    if (!ParseTimeNs(value, &w->extra_latency_ns)) {
+      SetError(error, "bad latency '" + value + "'");
+      return false;
+    }
+  } else if (key == "ch") {
+    if (!ChannelFromName(value, &w->channel)) {
+      SetError(error, "bad channel '" + value + "' (want read|write|both)");
+      return false;
+    }
+  } else {
+    SetError(error, "unknown key '" + key + "'");
+    return false;
+  }
+  return true;
+}
+
+bool ValidateWindow(const FaultWindow& w, std::string* error) {
+  if (w.until <= w.from) {
+    SetError(error, "window must satisfy until > from");
+    return false;
+  }
+  return true;
+}
+
+// --- minimal JSON reader for an array of flat objects ---
+// Values are strings or numbers; that is all the plan schema needs.
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+
+  void SkipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return p < end && *p == c;
+  }
+};
+
+bool ReadJsonString(JsonCursor* c, std::string* out, std::string* error) {
+  if (!c->Eat('"')) {
+    SetError(error, "expected string");
+    return false;
+  }
+  out->clear();
+  while (c->p < c->end && *c->p != '"') {
+    char ch = *c->p++;
+    if (ch == '\\' && c->p < c->end) {
+      char esc = *c->p++;
+      switch (esc) {
+        case 'n': ch = '\n'; break;
+        case 't': ch = '\t'; break;
+        default: ch = esc; break;
+      }
+    }
+    out->push_back(ch);
+  }
+  if (c->p >= c->end) {
+    SetError(error, "unterminated string");
+    return false;
+  }
+  ++c->p;  // closing quote
+  return true;
+}
+
+// Reads a string or number value; numbers are rendered back to text so the
+// caller can reuse the spec-side field parsers.
+bool ReadJsonScalar(JsonCursor* c, std::string* out, std::string* error) {
+  c->SkipWs();
+  if (c->Peek('"')) return ReadJsonString(c, out, error);
+  const char* start = c->p;
+  while (c->p < c->end &&
+         (std::isalnum(static_cast<unsigned char>(*c->p)) || *c->p == '.' || *c->p == '-' ||
+          *c->p == '+')) {
+    ++c->p;
+  }
+  if (c->p == start) {
+    SetError(error, "expected value");
+    return false;
+  }
+  out->assign(start, static_cast<size_t>(c->p - start));
+  return true;
+}
+
+bool ParseJsonWindow(JsonCursor* c, FaultWindow* w, std::string* error) {
+  if (!c->Eat('{')) {
+    SetError(error, "expected '{'");
+    return false;
+  }
+  // Kind must be applied before its defaults, and defaults before overrides,
+  // so collect key/value pairs first.
+  std::vector<std::pair<std::string, std::string>> kvs;
+  if (!c->Peek('}')) {
+    do {
+      std::string key, value;
+      if (!ReadJsonString(c, &key, error)) return false;
+      if (!c->Eat(':')) {
+        SetError(error, "expected ':' after key '" + key + "'");
+        return false;
+      }
+      if (!ReadJsonScalar(c, &value, error)) return false;
+      kvs.emplace_back(std::move(key), std::move(value));
+    } while (c->Eat(','));
+  }
+  if (!c->Eat('}')) {
+    SetError(error, "expected '}'");
+    return false;
+  }
+
+  bool have_kind = false;
+  for (const auto& [key, value] : kvs) {
+    if (key == "kind") {
+      if (!KindFromName(value, &w->kind)) {
+        SetError(error, "unknown fault kind '" + value + "'");
+        return false;
+      }
+      have_kind = true;
+    }
+  }
+  if (!have_kind) {
+    SetError(error, "window missing \"kind\"");
+    return false;
+  }
+  ApplyKindDefaults(w);
+  for (const auto& [key, value] : kvs) {
+    if (key == "kind") continue;
+    if (key == "from" || key == "until") {
+      SimTime t;
+      if (!ParseTimeNs(value, &t)) {
+        SetError(error, "bad time '" + value + "' for '" + key + "'");
+        return false;
+      }
+      (key == "from" ? w->from : w->until) = t;
+    } else if (!SetWindowKey(w, key, value, error)) {
+      return false;
+    }
+  }
+  return ValidateWindow(*w, error);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kError: return "error";
+    case FaultKind::kSpike: return "spike";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kIpiDelay: return "ipidelay";
+    case FaultKind::kNumKinds: break;
+  }
+  return "unknown";
+}
+
+bool ParseTimeNs(const std::string& text, SimTime* out) {
+  std::string s = Trim(text);
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return false;
+  std::string unit = Trim(end);
+  double scale = 1.0;
+  if (unit == "" || unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else {
+    return false;
+  }
+  double ns = v * scale;
+  if (ns < 0 || ns > 9.2e18) return false;
+  *out = static_cast<SimTime>(ns + 0.5);
+  return true;
+}
+
+std::string FormatTimeNs(SimTime ns) {
+  char buf[48];
+  if (ns != 0 && ns % kSecond == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(ns / kSecond));
+  } else if (ns != 0 && ns % kMillisecond == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(ns / kMillisecond));
+  } else if (ns != 0 && ns % kMicrosecond == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(ns / kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+bool FaultPlan::Parse(const std::string& text, FaultPlan* out, std::string* error) {
+  std::string t = Trim(text);
+  if (!t.empty() && t[0] == '[') return ParseJson(t, out, error);
+  return ParseSpec(t, out, error);
+}
+
+bool FaultPlan::ParseSpec(const std::string& text, FaultPlan* out, std::string* error) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t semi = text.find(';', pos);
+    std::string ev = Trim(text.substr(pos, semi == std::string::npos ? std::string::npos
+                                                                     : semi - pos));
+    pos = semi == std::string::npos ? text.size() + 1 : semi + 1;
+    if (ev.empty()) continue;
+
+    size_t at = ev.find('@');
+    if (at == std::string::npos) {
+      SetError(error, "event '" + ev + "' missing '@'");
+      return false;
+    }
+    FaultWindow w;
+    if (!KindFromName(Trim(ev.substr(0, at)), &w.kind)) {
+      SetError(error, "unknown fault kind '" + Trim(ev.substr(0, at)) + "'");
+      return false;
+    }
+    ApplyKindDefaults(&w);
+
+    size_t colon = ev.find(':', at + 1);
+    std::string range = ev.substr(at + 1, colon == std::string::npos ? std::string::npos
+                                                                     : colon - at - 1);
+    size_t dash = range.find('-');
+    if (dash == std::string::npos) {
+      SetError(error, "range '" + range + "' missing '-'");
+      return false;
+    }
+    if (!ParseTimeNs(range.substr(0, dash), &w.from) ||
+        !ParseTimeNs(range.substr(dash + 1), &w.until)) {
+      SetError(error, "bad time range '" + range + "'");
+      return false;
+    }
+
+    if (colon != std::string::npos) {
+      size_t kpos = colon + 1;
+      while (kpos <= ev.size()) {
+        size_t comma = ev.find(',', kpos);
+        std::string kv = Trim(ev.substr(kpos, comma == std::string::npos ? std::string::npos
+                                                                         : comma - kpos));
+        kpos = comma == std::string::npos ? ev.size() + 1 : comma + 1;
+        if (kv.empty()) continue;
+        size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          SetError(error, "key/value '" + kv + "' missing '='");
+          return false;
+        }
+        if (!SetWindowKey(&w, Trim(kv.substr(0, eq)), Trim(kv.substr(eq + 1)), error)) {
+          return false;
+        }
+      }
+    }
+    if (!ValidateWindow(w, error)) return false;
+    plan.Add(w);
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+bool FaultPlan::ParseJson(const std::string& text, FaultPlan* out, std::string* error) {
+  FaultPlan plan;
+  JsonCursor c{text.data(), text.data() + text.size()};
+  if (!c.Eat('[')) {
+    SetError(error, "expected '['");
+    return false;
+  }
+  if (!c.Peek(']')) {
+    do {
+      FaultWindow w;
+      if (!ParseJsonWindow(&c, &w, error)) return false;
+      plan.Add(w);
+    } while (c.Eat(','));
+  }
+  if (!c.Eat(']')) {
+    SetError(error, "expected ']'");
+    return false;
+  }
+  c.SkipWs();
+  if (c.p != c.end) {
+    SetError(error, "trailing characters after plan");
+    return false;
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+std::string FaultPlan::ToSpec() const {
+  std::string s;
+  for (const FaultWindow& w : windows_) {
+    if (!s.empty()) s += ";";
+    s += FaultKindName(w.kind);
+    s += "@" + FormatTimeNs(w.from) + "-" + FormatTimeNs(w.until);
+    // Emit exactly the fields that differ from the kind's parse-time defaults
+    // so Parse(ToSpec(p)) == p for any representable window.
+    FaultWindow d;
+    d.kind = w.kind;
+    ApplyKindDefaults(&d);
+    std::vector<std::string> kvs;
+    if (w.probability != d.probability) kvs.push_back("p=" + FormatDouble(w.probability));
+    if (w.bandwidth_factor != d.bandwidth_factor) {
+      kvs.push_back("bw=" + FormatDouble(w.bandwidth_factor));
+    }
+    if (w.extra_latency_ns != d.extra_latency_ns) {
+      kvs.push_back("lat=" + FormatTimeNs(w.extra_latency_ns));
+    }
+    if (w.channel != d.channel) kvs.push_back(std::string("ch=") + ChannelName(w.channel));
+    for (size_t i = 0; i < kvs.size(); ++i) {
+      s += (i == 0 ? ":" : ",") + kvs[i];
+    }
+  }
+  return s;
+}
+
+std::string FaultPlan::ToJson() const {
+  std::string s = "[";
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const FaultWindow& w = windows_[i];
+    if (i > 0) s += ",";
+    s += "{\"kind\":\"";
+    s += FaultKindName(w.kind);
+    s += "\",\"from\":" + std::to_string(w.from);
+    s += ",\"until\":" + std::to_string(w.until);
+    s += ",\"p\":" + FormatDouble(w.probability);
+    s += ",\"bw\":" + FormatDouble(w.bandwidth_factor);
+    s += ",\"lat\":" + std::to_string(w.extra_latency_ns);
+    s += ",\"ch\":\"";
+    s += ChannelName(w.channel);
+    s += "\"}";
+  }
+  s += "]";
+  return s;
+}
+
+void FaultPlan::Add(const FaultWindow& w) {
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), w,
+      [](const FaultWindow& a, const FaultWindow& b) { return a.from < b.from; });
+  windows_.insert(it, w);
+}
+
+SimTime FaultPlan::end_time() const {
+  SimTime end = 0;
+  for (const FaultWindow& w : windows_) end = std::max(end, w.until);
+  return end;
+}
+
+}  // namespace magesim

@@ -1,0 +1,162 @@
+#include "src/resilience/resilient_rdma.h"
+
+#include <algorithm>
+
+#include "src/sim/engine.h"
+#include "src/trace/trace.h"
+
+namespace magesim {
+
+ResilienceManager::ResilienceManager(RdmaNic& nic, const ResilienceOptions& opt)
+    : nic_(nic),
+      opt_(opt),
+      rng_(opt.seed ^ 0x5e111e7ce2e511e7ULL),
+      read_breaker_(opt.breaker, /*channel_id=*/0),
+      write_breaker_(opt.breaker, /*channel_id=*/1) {}
+
+Task<> ResilienceManager::CompletionWatcher(std::shared_ptr<RdmaCompletion> c,
+                                            std::shared_ptr<OpWait> w) {
+  // If the completion was dropped this watcher parks forever — the same
+  // intentional leak policy as any coroutine parked at shutdown.
+  co_await c->Wait();
+  w->ev.Set();
+}
+
+Task<> ResilienceManager::DeadlineWatcher(SimTime delay, std::shared_ptr<OpWait> w) {
+  co_await Delay{delay};
+  w->ev.Set();
+}
+
+Task<ResilienceManager::OpOutcome> ResilienceManager::AwaitWithDeadline(
+    std::shared_ptr<RdmaCompletion> c, int actor, uint64_t vpn) {
+  Engine& eng = Engine::current();
+  SimTime now = eng.now();
+  SimTime deadline = std::max(now, c->completes_at()) + opt_.retry.op_grace_ns;
+  if (!c->done()) {
+    auto w = std::make_shared<OpWait>();
+    eng.Spawn(CompletionWatcher(c, w));
+    eng.Spawn(DeadlineWatcher(deadline - now, w));
+    co_await w->ev.Wait();
+  }
+  if (!c->done()) {
+    ++timeouts_;
+    TraceEmit(TraceEventType::kRdmaTimeout, actor, vpn, kTraceNoFrame,
+              static_cast<uint64_t>(Engine::current().now() - now));
+    co_return OpOutcome::kTimeout;
+  }
+  co_return c->ok() ? OpOutcome::kOk : OpOutcome::kError;
+}
+
+Task<bool> ResilienceManager::OneOp(bool is_write, int actor, uint64_t vpn, int budget) {
+  BackoffSequence backoff(opt_.retry);
+  CircuitBreaker& br = is_write ? write_breaker_ : read_breaker_;
+  for (int attempt = 0;; ++attempt) {
+    co_await br.Admit();
+    auto c = is_write ? nic_.PostWrite(kPageSize) : nic_.PostRead(kPageSize);
+    OpOutcome out = co_await AwaitWithDeadline(c, actor, vpn);
+    if (out == OpOutcome::kOk) {
+      br.OnSuccess();
+      attempts_per_op_.Record(static_cast<uint64_t>(attempt) + 1);
+      co_return true;
+    }
+    br.OnFailure();
+    if (attempt >= budget) {
+      attempts_per_op_.Record(static_cast<uint64_t>(attempt) + 1);
+      co_return false;
+    }
+    ++retries_;
+    SimTime b = backoff.Next(rng_);
+    backoff_ns_.Record(static_cast<uint64_t>(b));
+    TraceEmit(TraceEventType::kRdmaRetry, actor, vpn, kTraceNoFrame,
+              static_cast<uint64_t>(attempt) + 1);
+    co_await Delay{b};
+  }
+}
+
+Task<RemoteOpStatus> ResilienceManager::ReadPage(int core, uint64_t vpn,
+                                                 bool allow_poison) {
+  bool ok = co_await OneOp(/*is_write=*/false, core, vpn, opt_.retry.max_retries);
+  if (ok) co_return RemoteOpStatus::kOk;
+  ++reads_failed_;
+  if (!allow_poison) co_return RemoteOpStatus::kAbandoned;
+  if (opt_.terminal == TerminalPolicy::kFailRun) {
+    FailRun("demand read retries exhausted");
+  }
+  // Even under kFailRun the page is poisoned so the in-flight fault unwinds
+  // cleanly while the engine drains.
+  ++pages_poisoned_;
+  TraceEmit(TraceEventType::kPagePoisoned, core, vpn);
+  co_return RemoteOpStatus::kPoisoned;
+}
+
+Task<size_t> ResilienceManager::WritePages(int evictor_id, size_t n) {
+  if (n == 0) co_return 0;
+  co_await write_breaker_.Admit();
+  // Post the whole batch back-to-back (matching the legacy path's channel
+  // utilization), then await in FIFO order; only failures pay retry latency.
+  std::vector<std::shared_ptr<RdmaCompletion>> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) ops.push_back(nic_.PostWrite(kPageSize));
+  size_t lost = 0;
+  for (auto& c : ops) {
+    OpOutcome out = co_await AwaitWithDeadline(c, evictor_id, kTraceNoPage);
+    if (out == OpOutcome::kOk) {
+      write_breaker_.OnSuccess();
+      continue;
+    }
+    write_breaker_.OnFailure();
+    ++retries_;
+    TraceEmit(TraceEventType::kRdmaRetry, evictor_id, kTraceNoPage, kTraceNoFrame, 1);
+    if (!co_await OneOp(/*is_write=*/true, evictor_id, kTraceNoPage,
+                        std::max(0, opt_.retry.max_retries - 1))) {
+      ++lost;
+    }
+  }
+  if (lost > 0) {
+    writebacks_lost_ += lost;
+    TraceEmit(TraceEventType::kWritebackLost, evictor_id, kTraceNoPage, kTraceNoFrame,
+              static_cast<uint64_t>(lost));
+    if (opt_.terminal == TerminalPolicy::kFailRun) FailRun("writeback retries exhausted");
+  }
+  co_return lost;
+}
+
+Task<> ResilienceManager::TicketMain(int evictor_id, size_t n,
+                                     std::shared_ptr<WritebackTicket> t) {
+  t->lost = co_await WritePages(evictor_id, n);
+  t->done.Set();
+}
+
+std::shared_ptr<WritebackTicket> ResilienceManager::SpawnWritePages(int evictor_id,
+                                                                    size_t n) {
+  auto t = std::make_shared<WritebackTicket>();
+  t->pages = n;
+  Engine::current().Spawn(TicketMain(evictor_id, n, t));
+  return t;
+}
+
+Task<> ResilienceManager::EvictionBackpressure(int evictor_id) {
+  if (!write_breaker_.degraded()) co_return;
+  SimTime now = Engine::current().now();
+  SimTime wait = write_breaker_.open_until() - now;
+  if (wait < 10 * kMicrosecond) wait = 10 * kMicrosecond;
+  if (wait > opt_.backpressure_max_ns) wait = opt_.backpressure_max_ns;
+  ++backpressure_waits_;
+  TraceEmit(TraceEventType::kEvictBackpressure, evictor_id, kTraceNoPage, kTraceNoFrame,
+            static_cast<uint64_t>(wait));
+  co_await Delay{wait};
+}
+
+void ResilienceManager::NotePrefetchThrottle(int core, uint64_t vpn) {
+  ++prefetch_throttles_;
+  TraceEmit(TraceEventType::kPrefetchThrottle, core, vpn);
+}
+
+void ResilienceManager::FailRun(const char* why) {
+  if (run_failed_) return;
+  run_failed_ = true;
+  failure_reason_ = why;
+  Engine::current().RequestShutdown();
+}
+
+}  // namespace magesim

@@ -1,0 +1,143 @@
+// The resilient far-memory data path: per-op deadlines, bounded retries with
+// exponential backoff, a circuit breaker per RDMA channel, and graceful
+// degradation hooks for the paging kernel (eviction backpressure, prefetch
+// throttling, poison-or-fail terminal policy). The kernel routes its remote
+// reads/writebacks through a ResilienceManager when one is attached; with
+// none attached the legacy direct-NIC path is byte-identical.
+#ifndef MAGESIM_RESILIENCE_RESILIENT_RDMA_H_
+#define MAGESIM_RESILIENCE_RESILIENT_RDMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/rdma.h"
+#include "src/resilience/retry.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace magesim {
+
+// What to do when a demand read exhausts its retries.
+enum class TerminalPolicy : uint8_t {
+  kPoisonPage,  // mark the page poisoned, count it, keep running
+  kFailRun,     // record the failure and request engine shutdown
+};
+
+struct ResilienceOptions {
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  TerminalPolicy terminal = TerminalPolicy::kPoisonPage;
+  // Upper bound on one eviction-backpressure pause.
+  SimTime backpressure_max_ns = 400 * kMicrosecond;
+  // 0 = derive from the machine seed.
+  uint64_t seed = 0;
+};
+
+enum class RemoteOpStatus : uint8_t {
+  kOk,         // data arrived
+  kPoisoned,   // retries exhausted; page poisoned, fault completes anyway
+  kAbandoned,  // retries exhausted on a speculative op; caller must unwind
+};
+
+// Completion handle for a writeback batch running in the background (the
+// pipelined evictor overlaps it with the next batch's shootdown).
+struct WritebackTicket {
+  SimEvent done;
+  size_t pages = 0;
+  size_t lost = 0;  // valid once `done` fires
+};
+
+class ResilienceManager {
+ public:
+  ResilienceManager(RdmaNic& nic, const ResilienceOptions& opt);
+
+  // One remote page read on the fault path. Retries under the read breaker;
+  // on exhaustion applies the terminal policy (`allow_poison` = demand fault)
+  // or reports kAbandoned (speculative prefetch: caller unwinds the frame).
+  Task<RemoteOpStatus> ReadPage(int core, uint64_t vpn, bool allow_poison);
+
+  // `n` dirty-page writebacks posted back-to-back (keeping the channel as
+  // full as the legacy path), then awaited in FIFO order with per-op
+  // deadlines; failed ops are retried individually. Returns pages lost for
+  // good — their frames are still freed, so eviction never deadlocks.
+  Task<size_t> WritePages(int evictor_id, size_t n);
+
+  // Background variant for the pipelined evictor.
+  std::shared_ptr<WritebackTicket> SpawnWritePages(int evictor_id, size_t n);
+
+  bool read_degraded() const { return read_breaker_.degraded(); }
+  bool write_degraded() const { return write_breaker_.degraded(); }
+
+  // Bounded pause for an evictor while the write channel is degraded: wait
+  // out (most of) the breaker cool-down once, then proceed — the next
+  // writeback acts as the half-open probe.
+  Task<> EvictionBackpressure(int evictor_id);
+
+  // Bookkeeping for a prefetch the kernel suppressed because the read
+  // channel is degraded.
+  void NotePrefetchThrottle(int core, uint64_t vpn);
+
+  bool run_failed() const { return run_failed_; }
+  const std::string& failure_reason() const { return failure_reason_; }
+
+  uint64_t retries() const { return retries_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t reads_failed() const { return reads_failed_; }
+  uint64_t pages_poisoned() const { return pages_poisoned_; }
+  uint64_t writebacks_lost() const { return writebacks_lost_; }
+  uint64_t backpressure_waits() const { return backpressure_waits_; }
+  uint64_t prefetch_throttles() const { return prefetch_throttles_; }
+  const Histogram& backoff_ns() const { return backoff_ns_; }
+  const Histogram& attempts_per_op() const { return attempts_per_op_; }
+  const CircuitBreaker& read_breaker() const { return read_breaker_; }
+  const CircuitBreaker& write_breaker() const { return write_breaker_; }
+
+ private:
+  enum class OpOutcome : uint8_t { kOk, kError, kTimeout };
+
+  struct OpWait {
+    SimEvent ev;
+  };
+
+  // Waits for `c` until it is overdue by the policy grace. Uses the
+  // completion's scheduled time, so queueing delay alone never trips it; a
+  // lost completion always does.
+  Task<OpOutcome> AwaitWithDeadline(std::shared_ptr<RdmaCompletion> c, int actor,
+                                    uint64_t vpn);
+  static Task<> CompletionWatcher(std::shared_ptr<RdmaCompletion> c,
+                                  std::shared_ptr<OpWait> w);
+  static Task<> DeadlineWatcher(SimTime delay, std::shared_ptr<OpWait> w);
+
+  // Full retry loop for one op; true on success. `budget` = extra attempts
+  // allowed after the first.
+  Task<bool> OneOp(bool is_write, int actor, uint64_t vpn, int budget);
+  Task<> TicketMain(int evictor_id, size_t n, std::shared_ptr<WritebackTicket> t);
+  void FailRun(const char* why);
+
+  RdmaNic& nic_;
+  ResilienceOptions opt_;
+  Rng rng_;
+  CircuitBreaker read_breaker_;
+  CircuitBreaker write_breaker_;
+
+  bool run_failed_ = false;
+  std::string failure_reason_;
+
+  uint64_t retries_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t reads_failed_ = 0;
+  uint64_t pages_poisoned_ = 0;
+  uint64_t writebacks_lost_ = 0;
+  uint64_t backpressure_waits_ = 0;
+  uint64_t prefetch_throttles_ = 0;
+  Histogram backoff_ns_;
+  Histogram attempts_per_op_;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_RESILIENCE_RESILIENT_RDMA_H_

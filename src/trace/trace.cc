@@ -34,6 +34,22 @@ const char* TraceEventName(TraceEventType t) {
     case TraceEventType::kFreeWaitStart: return "free_wait_start";
     case TraceEventType::kFreeWaitEnd: return "free_wait_end";
     case TraceEventType::kPrefetchIssue: return "prefetch_issue";
+    case TraceEventType::kRdmaReadError: return "rdma_read_error";
+    case TraceEventType::kRdmaWriteError: return "rdma_write_error";
+    case TraceEventType::kRdmaReadDrop: return "rdma_read_drop";
+    case TraceEventType::kRdmaWriteDrop: return "rdma_write_drop";
+    case TraceEventType::kRdmaRetry: return "rdma_retry";
+    case TraceEventType::kRdmaTimeout: return "rdma_timeout";
+    case TraceEventType::kBreakerOpen: return "breaker_open";
+    case TraceEventType::kBreakerHalfOpen: return "breaker_half_open";
+    case TraceEventType::kBreakerClose: return "breaker_close";
+    case TraceEventType::kFaultWindow: return "fault_window";
+    case TraceEventType::kMemnodeCrash: return "memnode_crash";
+    case TraceEventType::kMemnodeRecover: return "memnode_recover";
+    case TraceEventType::kPagePoisoned: return "page_poisoned";
+    case TraceEventType::kWritebackLost: return "writeback_lost";
+    case TraceEventType::kEvictBackpressure: return "evict_backpressure";
+    case TraceEventType::kPrefetchThrottle: return "prefetch_throttle";
     case TraceEventType::kNumTypes: break;
   }
   return "unknown";

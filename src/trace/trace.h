@@ -52,6 +52,22 @@ enum class TraceEventType : uint8_t {
   kFreeWaitStart,    // actor=core, page (MAGE-style wait for the EP)
   kFreeWaitEnd,      // actor=core, page, arg=waited ns
   kPrefetchIssue,    // actor=core, page
+  kRdmaReadError,    // arg=op latency ns (completion flagged failed)
+  kRdmaWriteError,   // arg=op latency ns
+  kRdmaReadDrop,     // arg=bytes (completion lost; never signals)
+  kRdmaWriteDrop,    // arg=bytes
+  kRdmaRetry,        // actor=core, page, arg=attempt number
+  kRdmaTimeout,      // actor=core, page, arg=grace waited ns
+  kBreakerOpen,      // actor=channel (0=read 1=write), arg=consecutive failures
+  kBreakerHalfOpen,  // actor=channel (probe admitted)
+  kBreakerClose,     // actor=channel, arg=time spent degraded ns
+  kFaultWindow,      // arg=FaultKind (an injection window opened)
+  kMemnodeCrash,     // memory node went dark
+  kMemnodeRecover,   // memory node back up
+  kPagePoisoned,     // actor=core, page (read retries exhausted)
+  kWritebackLost,    // actor=evictor id, arg=pages lost
+  kEvictBackpressure,// actor=evictor id, arg=waited ns
+  kPrefetchThrottle, // actor=core, page (suppressed: read channel degraded)
   kNumTypes,
 };
 

@@ -145,6 +145,64 @@ TEST(InvariantCheckerTest, IsolatedPageWithFaultInFlightIsOverlap) {
   EXPECT_TRUE(HasViolation(c, ViolationClass::kEvictFaultOverlap)) << c.Report();
 }
 
+TEST(InvariantCheckerTest, CleanRunPassesQuiescentCheck) {
+  SeqScanWorkload wl(SmallScan());
+  FarMemoryMachine m(CheckedOptions(), wl);
+  m.Run();
+  InvariantChecker& c = *m.checker();
+  ASSERT_TRUE(c.ok());
+  // The run drained naturally, so the strict quiescent rules apply too: no
+  // fault left in flight, no frame stuck in transit.
+  EXPECT_EQ(c.CheckQuiescent(), 0u) << c.Report();
+}
+
+TEST(InvariantCheckerTest, LeakedTransitFrameIsTransitLeak) {
+  SeqScanWorkload wl(SmallScan());
+  FarMemoryMachine m(CheckedOptions(), wl);
+  m.Run();
+  InvariantChecker& c = *m.checker();
+  ASSERT_TRUE(c.ok());
+
+  // Forge a failed-remote-op leak: a frame allocated for a fault whose owner
+  // bailed out without freeing it or completing the fault. Individually the
+  // frame looks legal (kAllocated is a valid transit state); only the census
+  // "transit <= faults in flight" catches it.
+  BuddyAllocator& buddy = m.kernel().buddy();
+  uint32_t pfn = buddy.AllocBlock(0);
+  ASSERT_NE(pfn, BuddyAllocator::kNoBlock);
+  m.kernel().frame_pool().frame(pfn).state = PageFrame::State::kAllocated;
+
+  EXPECT_GT(c.CheckNow(), 0u);
+  EXPECT_TRUE(HasViolation(c, ViolationClass::kTransitLeak)) << c.Report();
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(InvariantCheckerTest, AbandonedFaultIsStuckAtQuiescence) {
+  SeqScanWorkload wl(SmallScan());
+  FarMemoryMachine m(CheckedOptions(), wl);
+  m.Run();
+  InvariantChecker& c = *m.checker();
+  ASSERT_TRUE(c.ok());
+
+  // Forge a fault path that died without calling EndFault. Mid-run this is
+  // indistinguishable from a fault still in progress, so only the quiescent
+  // check may flag it.
+  PageTable& pt = m.kernel().page_table();
+  uint64_t vpn = pt.num_pages();
+  for (uint64_t i = 0; i < pt.num_pages(); ++i) {
+    if (!pt.At(i).present && !pt.At(i).fault_in_flight) {
+      vpn = i;
+      break;
+    }
+  }
+  ASSERT_LT(vpn, pt.num_pages()) << "no non-resident page at end of run";
+  ASSERT_TRUE(pt.TryBeginFault(vpn));
+
+  EXPECT_EQ(c.CheckNow(), 0u);  // mid-run rules cannot tell this apart
+  EXPECT_GT(c.CheckQuiescent(), 0u);
+  EXPECT_TRUE(HasViolation(c, ViolationClass::kStuckFault)) << c.Report();
+}
+
 TEST(InvariantCheckerTest, ViolationReportIncludesRecentTraceEvents) {
   Tracer tracer;
   TraceRingBuffer ring(4096);  // mirror of the machine's internal ring

@@ -113,6 +113,122 @@ TEST(RdmaTest, StatsTrackBytesAndOps) {
   EXPECT_EQ(nic.bytes_written(), 2 * kPageSize);
 }
 
+TEST(RdmaTest, OverlappingBrownoutsMergeToWorstOfBoth) {
+  Engine e;
+  RdmaNic nic(BareMetalParams());
+  nic.InjectBrownout(1000, 5000, 0.5, 100);
+  nic.InjectBrownout(3000, 8000, 0.25, 50);   // overlaps the first
+  nic.InjectBrownout(20000, 30000, 0.1, 0);   // disjoint
+  nic.InjectBrownout(9000, 9000, 0.9, 0);     // empty: rejected
+  EXPECT_EQ(nic.num_brownout_windows(), 2u);
+
+  // Inside the merged window [1000, 8000): min factor 0.25, max extra 100.
+  MachineParams p = BareMetalParams();
+  SimTime slow_done = -1, fast_done = -1;
+  auto body = [](RdmaNic& nic, SimTime& slow, SimTime& fast) -> Task<> {
+    co_await Delay{4000};
+    SimTime t0 = Engine::current().now();
+    co_await nic.Read(kPageSize);
+    slow = Engine::current().now() - t0;
+    co_await Delay{8000};  // past the merged window, before the disjoint one
+    t0 = Engine::current().now();
+    co_await nic.Read(kPageSize);
+    fast = Engine::current().now() - t0;
+  };
+  e.Spawn(body(nic, slow_done, fast_done));
+  e.Run();
+  SimTime slow_wire =
+      static_cast<SimTime>(kPageSize * 8.0 / (p.nic_gbps * 0.25));  // min factor wins
+  EXPECT_EQ(fast_done, p.PageWireTime() + p.rdma_base_ns);
+  EXPECT_EQ(slow_done, slow_wire + p.rdma_base_ns + 100);  // max extra latency wins
+}
+
+TEST(RdmaTest, BrownoutCursorHandlesManySequentialWindows) {
+  Engine e;
+  RdmaNic nic(BareMetalParams());
+  // Many disjoint windows; posts at increasing times must pick the right one.
+  for (int i = 0; i < 64; ++i) {
+    nic.InjectBrownout(i * 100000, i * 100000 + 50000, 0.5, i);
+  }
+  EXPECT_EQ(nic.num_brownout_windows(), 64u);
+  std::vector<SimTime> lat;
+  auto body = [](RdmaNic& nic, std::vector<SimTime>& lat) -> Task<> {
+    for (int i = 0; i < 64; ++i) {
+      // Land inside window i, then in the gap after it.
+      Engine& eng = Engine::current();
+      SimTime in_window = i * 100000 + 10000;
+      co_await Delay{in_window - eng.now()};
+      SimTime t0 = eng.now();
+      co_await nic.Read(kPageSize);
+      lat.push_back(eng.now() - t0);
+    }
+  };
+  e.Spawn(body(nic, lat));
+  e.Run();
+  MachineParams p = BareMetalParams();
+  SimTime halved_wire = static_cast<SimTime>(kPageSize * 8.0 / (p.nic_gbps * 0.5));
+  ASSERT_EQ(lat.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(lat[static_cast<size_t>(i)], halved_wire + p.rdma_base_ns + i)
+        << "window " << i;
+  }
+}
+
+namespace {
+// Scripted per-op fate for the fault-model hook tests.
+struct ScriptedFaultModel : HwFaultModel {
+  std::vector<RdmaOpFate> fates;
+  size_t next = 0;
+  RdmaOpFate OnRdmaPost(bool, SimTime) override {
+    return next < fates.size() ? fates[next++] : RdmaOpFate{};
+  }
+  SimTime ExtraIpiDelayNs(SimTime) override { return 0; }
+};
+}  // namespace
+
+TEST(RdmaTest, FaultModelDropLosesCompletionAndCounts) {
+  Engine e;
+  RdmaNic nic(BareMetalParams());
+  ScriptedFaultModel fm;
+  fm.fates.push_back({.error = false, .drop = true});
+  fm.fates.push_back({});
+  nic.SetFaultModel(&fm);
+  std::shared_ptr<RdmaCompletion> dropped, ok;
+  auto body = [](RdmaNic& nic, std::shared_ptr<RdmaCompletion>& dropped,
+                 std::shared_ptr<RdmaCompletion>& ok) -> Task<> {
+    dropped = nic.PostRead(kPageSize);
+    ok = nic.PostRead(kPageSize);
+    co_await ok->Wait();
+  };
+  e.Spawn(body(nic, dropped, ok));
+  e.Run();
+  EXPECT_FALSE(dropped->done());  // the event never fires
+  EXPECT_EQ(dropped->status(), RdmaCompletion::Status::kLost);
+  EXPECT_TRUE(ok->done());
+  EXPECT_TRUE(ok->ok());
+  EXPECT_EQ(nic.reads_dropped(), 1u);
+  EXPECT_EQ(nic.read_latency().count(), 1u);  // dropped op records no latency
+}
+
+TEST(RdmaTest, FaultModelErrorSignalsFailedCompletion) {
+  Engine e;
+  RdmaNic nic(BareMetalParams());
+  ScriptedFaultModel fm;
+  fm.fates.push_back({.error = true, .drop = false});
+  nic.SetFaultModel(&fm);
+  std::shared_ptr<RdmaCompletion> c;
+  auto body = [](RdmaNic& nic, std::shared_ptr<RdmaCompletion>& c) -> Task<> {
+    c = nic.PostWrite(kPageSize);
+    co_await c->Wait();
+  };
+  e.Spawn(body(nic, c));
+  e.Run();
+  EXPECT_TRUE(c->done());
+  EXPECT_FALSE(c->ok());
+  EXPECT_EQ(c->status(), RdmaCompletion::Status::kError);
+  EXPECT_EQ(nic.writes_errored(), 1u);
+}
+
 TEST(MemNodeTest, SetupAndDirectReservation) {
   Engine e;
   MemoryNode node(1ULL << 30);
@@ -124,6 +240,38 @@ TEST(MemNodeTest, SetupAndDirectReservation) {
   EXPECT_TRUE(node.ReserveDirect(1ULL << 29));
   EXPECT_EQ(node.direct_reserved(), 1ULL << 29);
   EXPECT_FALSE(node.ReserveDirect(1ULL << 31));
+}
+
+TEST(MemNodeTest, ReserveRequiresRegistration) {
+  MemoryNode node(1ULL << 30);
+  EXPECT_FALSE(node.ReserveDirect(kPageSize));
+  EXPECT_EQ(node.direct_reserved(), 0u);
+  node.RegisterSetup();
+  EXPECT_TRUE(node.ReserveDirect(kPageSize));
+  EXPECT_EQ(node.direct_reserved(), kPageSize);
+}
+
+TEST(MemNodeTest, ReservationsAccumulateAndRejectOverflow) {
+  MemoryNode node(10 * kPageSize);
+  node.RegisterSetup();
+  EXPECT_TRUE(node.ReserveDirect(6 * kPageSize));
+  EXPECT_TRUE(node.ReserveDirect(4 * kPageSize));
+  EXPECT_EQ(node.direct_reserved(), 10 * kPageSize);
+  // A second reservation must not silently overwrite the first: the region
+  // is full, so any further request is rejected and state is unchanged.
+  EXPECT_FALSE(node.ReserveDirect(1));
+  EXPECT_EQ(node.direct_reserved(), 10 * kPageSize);
+}
+
+TEST(MemNodeTest, CrashEpisodesAreCounted) {
+  MemoryNode node(1ULL << 20);
+  EXPECT_TRUE(node.available());
+  node.SetAvailable(false);
+  node.SetAvailable(false);  // already down: not a new episode
+  node.SetAvailable(true);
+  node.SetAvailable(false);
+  EXPECT_FALSE(node.available());
+  EXPECT_EQ(node.crash_episodes(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,155 @@
+// FaultPlan parsing: the compact spec and the JSON surface must accept the
+// documented grammar, reject malformed plans with a useful error, and round-
+// trip losslessly through both renderings — the run-report embeds ToSpec()
+// precisely so a logged plan can reproduce the run.
+#include "src/resilience/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace magesim {
+namespace {
+
+TEST(FaultPlanTest, ParsesCompactSpecWithDefaults) {
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::Parse(
+      "brownout@2ms-6ms:bw=0.2,lat=20us;drop@3ms-4ms:p=0.05,ch=read", &plan, &err))
+      << err;
+  ASSERT_EQ(plan.windows().size(), 2u);
+  const FaultWindow& b = plan.windows()[0];
+  EXPECT_EQ(b.kind, FaultKind::kBrownout);
+  EXPECT_EQ(b.from, 2 * kMillisecond);
+  EXPECT_EQ(b.until, 6 * kMillisecond);
+  EXPECT_DOUBLE_EQ(b.bandwidth_factor, 0.2);
+  EXPECT_EQ(b.extra_latency_ns, 20 * kMicrosecond);
+  const FaultWindow& d = plan.windows()[1];
+  EXPECT_EQ(d.kind, FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(d.probability, 0.05);
+  EXPECT_EQ(d.channel, FaultChannel::kRead);
+  EXPECT_EQ(plan.end_time(), 6 * kMillisecond);
+}
+
+TEST(FaultPlanTest, KindDefaultsApply) {
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::Parse("brownout@0-1ms;degrade@0-1ms;drop@0-1ms;spike@0-1ms",
+                               &plan, &err))
+      << err;
+  ASSERT_EQ(plan.windows().size(), 4u);
+  EXPECT_DOUBLE_EQ(plan.windows()[0].bandwidth_factor, 0.25);  // brownout default
+  EXPECT_DOUBLE_EQ(plan.windows()[1].bandwidth_factor, 0.5);   // degrade default
+  EXPECT_DOUBLE_EQ(plan.windows()[1].probability, 0.05);
+  EXPECT_DOUBLE_EQ(plan.windows()[2].probability, 0.01);       // drop default
+  EXPECT_EQ(plan.windows()[3].extra_latency_ns, 20 * kMicrosecond);  // spike default
+}
+
+TEST(FaultPlanTest, SpecRoundTripsLosslessly) {
+  const char* specs[] = {
+      "brownout@2ms-6ms:bw=0.2,lat=20us;drop@3ms-4ms:p=0.05,ch=read",
+      "crash@10ms-12ms",
+      "degrade@1us-2us:p=0.5,bw=0.125,lat=7ns",
+      "spike@0-1s:p=0.001,lat=123us;ipidelay@500ms-800ms:lat=10us",
+      // Values equal to kind defaults and "irrelevant" keys must survive too.
+      "drop@1ms-2ms:p=0.01,lat=5us",
+      "error@1ms-2ms:ch=write",
+  };
+  for (const char* spec : specs) {
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::Parse(spec, &plan, &err)) << spec << ": " << err;
+    FaultPlan again;
+    ASSERT_TRUE(FaultPlan::Parse(plan.ToSpec(), &again, &err))
+        << plan.ToSpec() << ": " << err;
+    EXPECT_EQ(plan, again) << spec << " -> " << plan.ToSpec();
+  }
+}
+
+TEST(FaultPlanTest, JsonRoundTripsLosslessly) {
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::Parse(
+      "brownout@2ms-6ms:bw=0.2,lat=20us;drop@3ms-4ms:p=0.05,ch=read;crash@8ms-9ms",
+      &plan, &err))
+      << err;
+  std::string json = plan.ToJson();
+  EXPECT_EQ(json.front(), '[');  // auto-detection keys off the leading bracket
+  FaultPlan again;
+  ASSERT_TRUE(FaultPlan::Parse(json, &again, &err)) << json << ": " << err;
+  EXPECT_EQ(plan, again);
+}
+
+TEST(FaultPlanTest, ParsesHandwrittenJson) {
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::Parse(
+      R"([{"kind":"brownout","from":"2ms","until":"6ms","bw":0.2,"lat":"20us"},)"
+      R"( {"kind":"drop","from":3000000,"until":4000000,"p":0.05,"ch":"read"}])",
+      &plan, &err))
+      << err;
+  ASSERT_EQ(plan.windows().size(), 2u);
+  EXPECT_EQ(plan.windows()[0].from, 2 * kMillisecond);
+  EXPECT_EQ(plan.windows()[1].from, 3 * kMillisecond);
+  EXPECT_EQ(plan.windows()[1].channel, FaultChannel::kRead);
+}
+
+TEST(FaultPlanTest, RejectsMalformedPlans) {
+  const char* bad[] = {
+      "meltdown@1ms-2ms",          // unknown kind
+      "drop@2ms-1ms",              // until <= from
+      "drop@1ms-1ms",              // empty window
+      "drop@1ms-2ms:p=1.5",        // probability out of range
+      "brownout@1ms-2ms:bw=0",     // zero bandwidth
+      "brownout@1ms-2ms:bw=-1",    // negative bandwidth
+      "drop@1ms-2ms:ch=sideways",  // unknown channel
+      "drop@1ms",                  // missing until
+      "drop@abc-2ms",              // bad time
+      "drop@1ms-2ms:p",            // missing value
+      "@1ms-2ms",                  // missing kind
+      "[{\"kind\":\"drop\"}]",     // JSON missing window bounds
+      "[{\"kind\":\"drop\",\"from\":0,\"until\":\"1ms\"",  // truncated JSON
+  };
+  for (const char* spec : bad) {
+    FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(FaultPlan::Parse(spec, &plan, &err)) << spec;
+    EXPECT_FALSE(err.empty()) << spec;
+  }
+}
+
+TEST(FaultPlanTest, TimeUnitsParseAndFormat) {
+  SimTime t = 0;
+  EXPECT_TRUE(ParseTimeNs("250", &t));
+  EXPECT_EQ(t, 250);
+  EXPECT_TRUE(ParseTimeNs("12us", &t));
+  EXPECT_EQ(t, 12 * kMicrosecond);
+  EXPECT_TRUE(ParseTimeNs("3ms", &t));
+  EXPECT_EQ(t, 3 * kMillisecond);
+  EXPECT_TRUE(ParseTimeNs("2s", &t));
+  EXPECT_EQ(t, 2 * kSecond);
+  EXPECT_TRUE(ParseTimeNs("1500us", &t));
+  EXPECT_EQ(t, 1500 * kMicrosecond);
+  EXPECT_FALSE(ParseTimeNs("", &t));
+  EXPECT_FALSE(ParseTimeNs("ms", &t));
+  EXPECT_FALSE(ParseTimeNs("-5us", &t));
+
+  EXPECT_EQ(FormatTimeNs(3 * kMillisecond), "3ms");
+  EXPECT_EQ(FormatTimeNs(1500 * kMicrosecond), "1500us");
+  EXPECT_EQ(FormatTimeNs(42), "42ns");
+  EXPECT_EQ(FormatTimeNs(2 * kSecond), "2s");
+  EXPECT_EQ(FormatTimeNs(0), "0ns");
+}
+
+TEST(FaultPlanTest, AddKeepsWindowsSortedByStart) {
+  FaultPlan plan;
+  plan.Add(FaultWindow{.kind = FaultKind::kDrop, .from = 5000, .until = 6000});
+  plan.Add(FaultWindow{.kind = FaultKind::kSpike, .from = 1000, .until = 2000});
+  plan.Add(FaultWindow{.kind = FaultKind::kCrash, .from = 3000, .until = 9000});
+  ASSERT_EQ(plan.windows().size(), 3u);
+  EXPECT_EQ(plan.windows()[0].from, 1000);
+  EXPECT_EQ(plan.windows()[1].from, 3000);
+  EXPECT_EQ(plan.windows()[2].from, 5000);
+  EXPECT_EQ(plan.end_time(), 9000);
+}
+
+}  // namespace
+}  // namespace magesim

@@ -1,0 +1,179 @@
+// Backoff and circuit-breaker building blocks: deterministic jitter, cap
+// behavior, and the full breaker state machine (trip, cool-down, half-open
+// probe, close / re-open) driven inside the simulation engine.
+#include "src/resilience/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+
+namespace magesim {
+namespace {
+
+TEST(BackoffTest, ZeroJitterIsExactGeometricWithCap) {
+  RetryPolicy p;
+  p.backoff_base_ns = 1000;
+  p.backoff_mult = 2.0;
+  p.backoff_cap_ns = 6000;
+  p.jitter = 0.0;
+  BackoffSequence seq(p);
+  Rng rng(1);
+  EXPECT_EQ(seq.Next(rng), 1000);
+  EXPECT_EQ(seq.Next(rng), 2000);
+  EXPECT_EQ(seq.Next(rng), 4000);
+  EXPECT_EQ(seq.Next(rng), 6000);  // capped
+  EXPECT_EQ(seq.Next(rng), 6000);  // stays capped
+  seq.Reset();
+  EXPECT_EQ(seq.Next(rng), 1000);
+}
+
+TEST(BackoffTest, JitterStaysWithinConfiguredBand) {
+  RetryPolicy p;
+  p.backoff_base_ns = 1000;
+  p.backoff_mult = 2.0;
+  p.backoff_cap_ns = 1 * kMillisecond;
+  p.jitter = 0.25;
+  Rng rng(42);
+  BackoffSequence seq(p);
+  double expected = 1000;
+  for (int i = 0; i < 10; ++i) {
+    SimTime d = seq.Next(rng);
+    EXPECT_GE(d, static_cast<SimTime>(expected));
+    EXPECT_LT(d, static_cast<SimTime>(expected * 1.25) + 1);
+    expected = std::min(expected * 2, static_cast<double>(p.backoff_cap_ns));
+  }
+}
+
+TEST(BackoffTest, SameSeedYieldsSameSequence) {
+  RetryPolicy p;
+  std::vector<SimTime> a, b;
+  {
+    Rng rng(7);
+    BackoffSequence seq(p);
+    for (int i = 0; i < 20; ++i) a.push_back(seq.Next(rng));
+  }
+  {
+    Rng rng(7);
+    BackoffSequence seq(p);
+    for (int i = 0; i < 20; ++i) b.push_back(seq.Next(rng));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(BackoffTest, NeverReturnsZero) {
+  RetryPolicy p;
+  p.backoff_base_ns = 0;
+  p.jitter = 0.0;
+  BackoffSequence seq(p);
+  Rng rng(1);
+  EXPECT_GE(seq.Next(rng), 1);
+}
+
+TEST(BreakerTest, TripsAfterConsecutiveFailuresAndRecovers) {
+  Engine e;
+  BreakerPolicy p;
+  p.failure_threshold = 3;
+  p.open_duration_ns = 1000;
+  CircuitBreaker br(p, 0);
+
+  std::vector<SimTime> admit_times;
+  auto body = [](CircuitBreaker& br, std::vector<SimTime>& admits) -> Task<> {
+    Engine& eng = Engine::current();
+    // Interleaved successes keep it closed.
+    co_await br.Admit();
+    br.OnFailure();
+    co_await br.Admit();
+    br.OnFailure();
+    co_await br.Admit();
+    br.OnSuccess();  // resets the consecutive count
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+
+    for (int i = 0; i < 3; ++i) {
+      co_await br.Admit();
+      br.OnFailure();
+    }
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+    EXPECT_EQ(br.opens(), 1u);
+    EXPECT_TRUE(br.degraded());
+
+    // Next Admit parks through the cool-down, then proceeds as the probe.
+    SimTime before = eng.now();
+    co_await br.Admit();
+    admits.push_back(eng.now() - before);
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+    br.OnSuccess();
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+    EXPECT_FALSE(br.degraded());
+    EXPECT_GT(br.time_degraded_ns(eng.now()), 0);
+  };
+  e.Spawn(body(br, admit_times));
+  e.Run();
+  ASSERT_EQ(admit_times.size(), 1u);
+  EXPECT_GE(admit_times[0], 1000);  // waited out the open duration
+}
+
+TEST(BreakerTest, FailedProbeReopens) {
+  Engine e;
+  BreakerPolicy p;
+  p.failure_threshold = 1;
+  p.open_duration_ns = 500;
+  CircuitBreaker br(p, 1);
+  auto body = [](CircuitBreaker& br) -> Task<> {
+    co_await br.Admit();
+    br.OnFailure();  // trips immediately (threshold 1)
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+    co_await br.Admit();  // probe after cool-down
+    br.OnFailure();       // probe fails
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+    EXPECT_EQ(br.opens(), 2u);
+    co_await br.Admit();
+    br.OnSuccess();
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  };
+  e.Spawn(body(br));
+  e.Run();
+  EXPECT_EQ(br.opens(), 2u);
+}
+
+TEST(BreakerTest, WaitersQueueBehindProbeAndAllAdmitEventually) {
+  Engine e;
+  BreakerPolicy p;
+  p.failure_threshold = 1;
+  p.open_duration_ns = 1000;
+  CircuitBreaker br(p, 0);
+  int admitted = 0;
+  bool probe_done = false;
+
+  auto tripper = [](CircuitBreaker& br) -> Task<> {
+    co_await br.Admit();
+    br.OnFailure();
+  };
+  // The first waiter through becomes the probe; the rest park on the state
+  // change and re-evaluate when the probe's verdict lands.
+  auto waiter = [](CircuitBreaker& br, int& admitted, bool& probe_done, bool probe) -> Task<> {
+    co_await br.Admit();
+    ++admitted;
+    if (probe) {
+      // Hold the half-open state briefly so the others demonstrably park.
+      co_await Delay{100};
+      br.OnSuccess();
+      probe_done = true;
+    } else {
+      EXPECT_TRUE(probe_done);  // non-probe waiters admit only after the close
+      br.OnSuccess();
+    }
+  };
+  e.Spawn(tripper(br));
+  e.Spawn(waiter(br, admitted, probe_done, /*probe=*/true));
+  e.Spawn(waiter(br, admitted, probe_done, /*probe=*/false));
+  e.Spawn(waiter(br, admitted, probe_done, /*probe=*/false));
+  e.Run();
+  EXPECT_EQ(admitted, 3);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+}
+
+}  // namespace
+}  // namespace magesim
