@@ -54,9 +54,11 @@ std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
     if (a.rfind("--", 0) != 0) continue;
     size_t eq = a.find('=');
     if (eq == std::string::npos) {
-      args[a.substr(2)] = "1";
+      // insert_or_assign rather than operator[]= : the latter trips a GCC 12
+      // -Wrestrict false positive (PR105329) when the char* assign inlines.
+      args.insert_or_assign(a.substr(2), std::string("1"));
     } else {
-      args[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      args.insert_or_assign(a.substr(2, eq - 2), a.substr(eq + 1));
     }
   }
   return args;
@@ -73,7 +75,7 @@ int Usage() {
                "usage: magesim_cli --workload=<name> --system=<name> [--far=<pct>]\n"
                "                   [--threads=N] [--trace-file=path] [--save-trace=path]\n"
                "                   [--trace=events.jsonl] [--trace-chrome=timeline.json]\n"
-               "                   [--check-interval=us] [--check]\n"
+               "                   [--check-interval=us] [--check] [--analysis]\n"
                "                   [--metrics-out=report.json] [--metrics-csv=series.csv]\n"
                "                   [--metrics-prom=metrics.txt] [--sample-interval-us=N]\n"
                "                   [--progress] [--fault-plan=spec|@file]\n"
@@ -164,6 +166,7 @@ int main(int argc, char** argv) {
   long check_us = std::atol(Get(args, "check-interval", "0").c_str());
   if (check_us > 0) opt.check_interval = check_us * kMicrosecond;
   if (args.count("check") != 0) opt.check_final = true;
+  if (args.count("analysis") != 0) opt.analysis.enabled = true;
 
   opt.metrics.report_path = Get(args, "metrics-out", "");
   opt.metrics.csv_path = Get(args, "metrics-csv", "");
@@ -247,6 +250,16 @@ int main(int argc, char** argv) {
   if (machine.checker() != nullptr) {
     std::printf("%s\n", machine.checker()->Report().c_str());
     if (r.invariant_violations > 0) return 1;
+  }
+  if (machine.analyzer() != nullptr) {
+    std::printf("analysis        locks %llu order-edges %llu violations %llu\n",
+                static_cast<unsigned long long>(r.analysis_locks),
+                static_cast<unsigned long long>(r.analysis_order_edges),
+                static_cast<unsigned long long>(r.analysis_violations));
+    if (r.analysis_violations > 0) {
+      std::printf("%s\n", machine.analyzer()->Report().c_str());
+      return 1;
+    }
   }
   if (r.aborted) {
     std::fprintf(stderr, "run aborted: %s\n", r.abort_reason.c_str());

@@ -17,28 +17,32 @@ Task<> GlobalLru::Insert(CoreId core, PageFrame* f) {
   SimTime start = Engine::current().now();
   auto g = co_await lock_.Scoped();
   co_await Delay{costs_.insert_cs_ns};
-  inactive_.PushBack(f);
+  inactive_.Locked("lru insert").PushBack(f);
   f->lru_list = kInactive;
   ++stats_.inserts;
   insert_time_total_ += Engine::current().now() - start;
 }
 
 void GlobalLru::InsertSetup(CoreId core, PageFrame* f) {
-  inactive_.PushBack(f);
+  // Prepopulation runs before the engine spawns any task; Unsafe() skips the
+  // (vacuous) held check.
+  inactive_.Unsafe().PushBack(f);
   f->lru_list = kInactive;
   ++stats_.inserts;
 }
 
 void GlobalLru::Balance() {
+  FrameList& inactive = inactive_.Locked("lru balance");
+  FrameList& active = active_.Locked("lru balance");
   // Demote from the active list until it is no larger than the inactive list
   // (shrink_active_list analogue). Demotion clears the reference so demoted
   // pages must be re-referenced to survive the next scan.
-  while (active_.size() > inactive_.size()) {
-    PageFrame* f = active_.PopFront();
+  while (active.size() > inactive.size()) {
+    PageFrame* f = active.PopFront();
     if (f->vpn != kInvalidVpn) {
       pt_.At(f->vpn).accessed = false;
     }
-    inactive_.PushBack(f);
+    inactive.PushBack(f);
     f->lru_list = kInactive;
   }
 }
@@ -46,20 +50,22 @@ void GlobalLru::Balance() {
 Task<size_t> GlobalLru::IsolateBatch(int evictor_id, CoreId core, size_t want,
                                      std::vector<PageFrame*>* out) {
   auto g = co_await lock_.Scoped();
+  FrameList& inactive = inactive_.Locked("lru isolate scan");
+  FrameList& active = active_.Locked("lru isolate scan");
   size_t got = 0;
   // Scan bound: examine at most 4x the request (and never pages this scan
   // itself reactivated), so a hot inactive list cannot wedge the evictor.
-  size_t scan_budget = std::min(want * 4, inactive_.size());
-  while (got < want && scan_budget > 0 && !inactive_.empty()) {
+  size_t scan_budget = std::min(want * 4, inactive.size());
+  while (got < want && scan_budget > 0 && !inactive.empty()) {
     co_await Delay{costs_.scan_per_page_ns};
     --scan_budget;
     ++stats_.scanned;
-    PageFrame* f = inactive_.PopFront();
+    PageFrame* f = inactive.PopFront();
     bool accessed = f->vpn != kInvalidVpn && pt_.At(f->vpn).accessed;
     if (accessed) {
       // Second chance: promote to the active list, clear the reference.
       pt_.At(f->vpn).accessed = false;
-      active_.PushBack(f);
+      active.PushBack(f);
       f->lru_list = kActive;
       ++stats_.reactivated;
       continue;
@@ -72,16 +78,16 @@ Task<size_t> GlobalLru::IsolateBatch(int evictor_id, CoreId core, size_t want,
   }
   if (got < want) {
     Balance();
-    scan_budget = std::min(want * 4, inactive_.size());
-    while (got < want && scan_budget > 0 && !inactive_.empty()) {
+    scan_budget = std::min(want * 4, inactive.size());
+    while (got < want && scan_budget > 0 && !inactive.empty()) {
       co_await Delay{costs_.scan_per_page_ns};
       --scan_budget;
       ++stats_.scanned;
-      PageFrame* f = inactive_.PopFront();
+      PageFrame* f = inactive.PopFront();
       bool accessed = f->vpn != kInvalidVpn && pt_.At(f->vpn).accessed;
       if (accessed) {
         pt_.At(f->vpn).accessed = false;
-        active_.PushBack(f);
+        active.PushBack(f);
         f->lru_list = kActive;
         ++stats_.reactivated;
         continue;
@@ -98,10 +104,12 @@ Task<size_t> GlobalLru::IsolateBatch(int evictor_id, CoreId core, size_t want,
 
 void GlobalLru::Unlink(PageFrame* f) {
   if (!f->linked()) return;
+  FrameList& inactive = inactive_.Locked("lru unlink");
+  FrameList& active = active_.Locked("lru unlink");
   if (f->lru_list == kInactive) {
-    inactive_.Remove(f);
+    inactive.Remove(f);
   } else {
-    active_.Remove(f);
+    active.Remove(f);
   }
   f->lru_list = -1;
 }

@@ -4,6 +4,7 @@
 
 #include "src/accounting/accounting.h"
 #include "src/accounting/intrusive_list.h"
+#include "src/analysis/guarded.h"
 
 namespace magesim {
 
@@ -24,20 +25,23 @@ class GlobalLru : public PageAccounting {
                             std::vector<PageFrame*>* out) override;
   void Unlink(PageFrame* f) override;
 
-  uint64_t tracked_pages() const override { return inactive_.size() + active_.size(); }
+  uint64_t tracked_pages() const override {
+    return inactive_.Unsafe().size() + active_.Unsafe().size();
+  }
   LockStats AggregateLockStats() const override { return lock_.stats(); }
 
-  size_t inactive_size() const { return inactive_.size(); }
-  size_t active_size() const { return active_.size(); }
+  // Unsafe(): read-only reporting that tolerates observing a scan mid-update.
+  size_t inactive_size() const { return inactive_.Unsafe().size(); }
+  size_t active_size() const { return active_.Unsafe().size(); }
 
  private:
   void Balance();
 
   PageTable& pt_;
   Costs costs_;
-  FrameList inactive_;  // lru_list id 0
-  FrameList active_;    // lru_list id 1
   SimMutex lock_{"lru"};
+  GuardedBy<FrameList> inactive_{lock_};  // lru_list id 0
+  GuardedBy<FrameList> active_{lock_};    // lru_list id 1
 };
 
 }  // namespace magesim

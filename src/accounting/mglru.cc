@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/guarded.h"
 #include "src/sim/engine.h"
 
 namespace magesim {
@@ -13,6 +14,7 @@ Task<> MgLru::Insert(CoreId core, PageFrame* f) {
   {
     auto g = co_await lock_.Scoped();
     co_await Delay{costs_.insert_cs_ns};
+    MAGESIM_ASSERT_HELD(lock_, "mglru generations (insert)");
     Youngest().PushBack(f);
     f->lru_list = YoungestId();
   }
@@ -42,6 +44,7 @@ void MgLru::AgeIfOldestEmpty() {
 Task<size_t> MgLru::IsolateBatch(int evictor_id, CoreId core, size_t want,
                                  std::vector<PageFrame*>* out) {
   auto g = co_await lock_.Scoped();
+  MAGESIM_ASSERT_HELD(lock_, "mglru generations (isolate scan)");
   size_t got = 0;
   AgeIfOldestEmpty();
   size_t budget = std::min(want * 4, tracked_pages());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/analysis/guarded.h"
 #include "src/sim/engine.h"
 
 namespace magesim {
@@ -31,6 +32,7 @@ Task<> PartitionedFifo::Insert(CoreId core, PageFrame* f) {
   {
     auto g = co_await locks_[p]->Scoped();
     co_await Delay{costs_.insert_cs_ns};
+    MAGESIM_ASSERT_HELD(*locks_[p], "fifo partition (insert)");
     lists_[p].PushBack(f);
     f->lru_list = static_cast<int16_t>(p);
   }
@@ -56,6 +58,7 @@ Task<size_t> PartitionedFifo::IsolateBatch(int evictor_id, CoreId core, size_t w
     ++lists_tried;
     if (lists_[p].empty()) continue;
     auto g = co_await locks_[p]->Scoped();
+    MAGESIM_ASSERT_HELD(*locks_[p], "fifo partition (isolate scan)");
     // Never re-examine pages this scan itself rotated back: bound the scan
     // by the list length at entry.
     size_t scan_budget = std::min((want - got) * 4, lists_[p].size());

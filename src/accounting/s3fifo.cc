@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/guarded.h"
 #include "src/sim/engine.h"
 
 namespace magesim {
@@ -49,6 +50,7 @@ Task<> S3Fifo::Insert(CoreId core, PageFrame* f) {
   {
     auto g = co_await lock_.Scoped();
     co_await Delay{costs_.insert_cs_ns};
+    MAGESIM_ASSERT_HELD(lock_, "s3fifo queues (insert)");
     PlaceNew(f);
   }
   ++stats_.inserts;
@@ -63,6 +65,7 @@ void S3Fifo::InsertSetup(CoreId core, PageFrame* f) {
 Task<size_t> S3Fifo::IsolateBatch(int evictor_id, CoreId core, size_t want,
                                   std::vector<PageFrame*>* out) {
   auto g = co_await lock_.Scoped();
+  MAGESIM_ASSERT_HELD(lock_, "s3fifo queues (isolate scan)");
   size_t got = 0;
   size_t budget = std::min(want * 4, small_.size() + main_.size());
   while (got < want && budget > 0 && tracked_pages() > 0) {

@@ -47,6 +47,7 @@ enum class ViolationClass : uint8_t {
   kStaleRemoteRead,    // (opt-in) refault racing an unfinished writeback
   kTransitLeak,        // more in-transit frames than in-flight faults
   kStuckFault,         // (quiescent only) fault_in_flight never cleared
+  kLockQuiescence,     // (quiescent only) a sim lock is still held at drain
   kNumClasses,
 };
 
@@ -87,6 +88,11 @@ class InvariantChecker {
   // prefetch abandon) never strands a frame or a PTE. Not valid after a
   // time-limit shutdown, which legally parks coroutines mid-fault.
   size_t CheckQuiescent();
+
+  // When a LockAnalyzer is installed, verifies its lock state is quiescent
+  // (no task still holds any sim lock). Runs as part of CheckQuiescent; no-op
+  // without an installed analyzer.
+  size_t CheckLockQuiescence();
 
   // Re-checks every `interval` ns of simulated time until shutdown.
   Task<> PeriodicMain(SimTime interval);

@@ -135,6 +135,18 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
         *kernel_, Tracer::Get() != nullptr ? trace_ring_.get() : nullptr);
   }
 
+  // MAGESIM_ANALYSIS force-enables the lock-discipline analyzer ("0"
+  // disables it, overriding an analysis-build default).
+  if (const char* env = std::getenv("MAGESIM_ANALYSIS")) {
+    options_.analysis.enabled = env[0] != '0';
+  }
+  if (options_.analysis.enabled) {
+    AnalysisOptions ao;
+    ao.abort_on_violation = options_.analysis.abort_on_violation;
+    analyzer_ = std::make_unique<LockAnalyzer>(ao);
+    analyzer_->Install();  // uninstalled by ~LockAnalyzer
+  }
+
   // Each MAGESIM_METRICS_* override force-enables the metrics subsystem.
   auto& mo = options_.metrics;
   if (const char* env = std::getenv("MAGESIM_METRICS_OUT")) {
@@ -195,6 +207,10 @@ FarMemoryMachine::~FarMemoryMachine() {
 }
 
 Task<> FarMemoryMachine::RunThread(int tid) {
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    // App threads are core-bound: per-CPU cache affinity is checkable.
+    la->NameCurrentTask("app-" + std::to_string(tid), tid);
+  }
   co_await workload_.ThreadBody(*threads_[static_cast<size_t>(tid)], tid);
   wg_.Done();
 }
@@ -298,6 +314,14 @@ RunResult FarMemoryMachine::Run() {
       r.first_violation = checker_->violations().front().message;
     }
   }
+  if (analyzer_ != nullptr) {
+    r.analysis_locks = analyzer_->locks_registered();
+    r.analysis_order_edges = analyzer_->order_edges();
+    r.analysis_violations = analyzer_->total_violations();
+    if (!analyzer_->violations().empty()) {
+      r.analysis_first_violation = analyzer_->violations().front().message;
+    }
+  }
   if (resilience_ != nullptr) {
     r.rdma_retries = resilience_->retries();
     r.rdma_timeouts = resilience_->timeouts();
@@ -356,6 +380,12 @@ void FarMemoryMachine::PublishMetrics(const RunResult& r) {
   if (checker_ != nullptr) {
     m.Counter("check.invariant_checks").Set(r.invariant_checks);
     m.Counter("check.invariant_violations").Set(r.invariant_violations);
+  }
+  if (analyzer_ != nullptr) {
+    m.Counter("analysis.locks").Set(r.analysis_locks);
+    m.Counter("analysis.lock_classes").Set(analyzer_->lock_classes());
+    m.Counter("analysis.order_edges").Set(r.analysis_order_edges);
+    m.Counter("analysis.violations").Set(r.analysis_violations);
   }
   if (resilience_ != nullptr) {
     m.Counter("resilience.rdma_retries").Set(r.rdma_retries);
@@ -438,6 +468,7 @@ std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
   w.KV("sample_interval_ns", options_.metrics.sample_interval);
   w.KV("fault_plan", injector_ != nullptr ? injector_->plan().ToSpec() : std::string());
   w.KV("resilience", resilience_ != nullptr);
+  w.KV("analysis", analyzer_ != nullptr);
   w.EndObject();
 
   w.Key("run");

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/lock_analyzer.h"
 #include "src/check/invariant_checker.h"
 #include "src/hw/memnode.h"
 #include "src/metrics/metrics.h"
@@ -68,6 +69,13 @@ struct RunResult {
   uint64_t invariant_checks = 0;
   uint64_t invariant_violations = 0;
   std::string first_violation;  // empty when clean
+
+  // Lock-discipline analysis (when Options::analysis / MAGESIM_ANALYSIS
+  // enabled; zero otherwise).
+  uint64_t analysis_locks = 0;        // lock instances seen
+  uint64_t analysis_order_edges = 0;  // acquisition-order digraph edges
+  uint64_t analysis_violations = 0;
+  std::string analysis_first_violation;  // empty when clean
 
   // Resilience (zero unless a fault plan / the resilient path was enabled).
   uint64_t rdma_retries = 0;
@@ -127,6 +135,23 @@ class FarMemoryMachine {
     };
     MetricsOptions metrics;
 
+    // Simulated-time lock-discipline analysis (src/analysis): ownership,
+    // guarded-state, lock-order and held-across-await checking on every sim
+    // lock. The MAGESIM_ANALYSIS environment variable force-enables it ("0"
+    // disables), and building with -DMAGESIM_ANALYSIS=ON flips the
+    // compile-time default so the whole test suite runs analyzed.
+    struct AnalysisConfig {
+#ifdef MAGESIM_ANALYSIS_DEFAULT_ON
+      bool enabled = true;
+#else
+      bool enabled = false;
+#endif
+      // Abort with a named diagnostic on the first violation (the CI
+      // posture). When false, violations are recorded into RunResult instead.
+      bool abort_on_violation = true;
+    };
+    AnalysisConfig analysis;
+
     // Deterministic fault injection: a FaultPlan spec/JSON string, or
     // "@path" to load one from a file. The MAGESIM_FAULT_PLAN environment
     // variable overrides this. Parse errors throw std::invalid_argument from
@@ -154,6 +179,8 @@ class FarMemoryMachine {
   const std::vector<std::unique_ptr<AppThread>>& threads() const { return threads_; }
   // Null unless checking was enabled via Options or MAGESIM_CHECK_INTERVAL_US.
   InvariantChecker* checker() { return checker_.get(); }
+  // Null unless analysis was enabled via Options or MAGESIM_ANALYSIS.
+  LockAnalyzer* analyzer() { return analyzer_.get(); }
   // Null unless a fault plan / resilience_enabled was set.
   ResilienceManager* resilience() { return resilience_.get(); }
   FaultInjector* injector() { return injector_.get(); }
@@ -188,6 +215,7 @@ class FarMemoryMachine {
   // installed Tracer (if any) for the duration of the run.
   std::unique_ptr<TraceRingBuffer> trace_ring_;
   std::unique_ptr<InvariantChecker> checker_;
+  std::unique_ptr<LockAnalyzer> analyzer_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<SimProfiler> profiler_;
   std::unique_ptr<MetricsSampler> sampler_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/guarded.h"
 #include "src/trace/trace.h"
 
 namespace magesim {
@@ -34,6 +35,8 @@ Task<> TlbShootdownManager::DeliverIpi(CoreId target, int num_pages, SimTime sen
       cost += p.vmexit_ns;  // interrupt injection exits to the hypervisor
     }
     co_await Delay{cost};
+    MAGESIM_ASSERT_HELD(*irq_serializers_[static_cast<size_t>(target)],
+                        "irq handler state");
     Core& c = topo_.core(target);
     c.CountInterrupt();
     c.AddStolenTime(cost);

@@ -27,7 +27,7 @@ namespace magesim {
 class ShootdownOp {
  public:
   ShootdownOp(int num_targets, SimTime start, CoreId initiator)
-      : latch_(num_targets), start_(start), initiator_(initiator) {}
+      : latch_(num_targets, "shootdown-ack"), start_(start), initiator_(initiator) {}
 
   SimEvent::Awaiter Wait() { return latch_.Wait(); }
   void Ack() { latch_.CountDown(); }

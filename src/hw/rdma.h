@@ -46,7 +46,7 @@ class RdmaCompletion {
   SimTime completes_at() const { return completes_at_; }
 
  private:
-  SimEvent event_;
+  SimEvent event_{"rdma-completion"};
   SimTime completes_at_;
   Status status_ = Status::kPending;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/sim/sync.h"
+
 namespace magesim {
 
 BuddyAllocator::BuddyAllocator(FramePool& pool)
@@ -25,6 +27,7 @@ BuddyAllocator::BuddyAllocator(FramePool& pool)
 
 uint32_t BuddyAllocator::AllocBlock(int order) {
   assert(order >= 0 && order <= kMaxOrder);
+  if (guard_ != nullptr) guard_->AssertHeld("buddy free lists (alloc)");
   last_op_work_ = 1;
   int o = order;
   while (o <= kMaxOrder && free_lists_[static_cast<size_t>(o)].empty()) {
@@ -65,6 +68,7 @@ void BuddyAllocator::RemoveFromFreeList(uint32_t pfn, int order) {
 
 void BuddyAllocator::FreeBlock(uint32_t pfn, int order) {
   assert(order >= 0 && order <= kMaxOrder);
+  if (guard_ != nullptr) guard_->AssertHeld("buddy free lists (free)");
   last_op_work_ = 1;
   for (uint32_t i = 0; i < (1u << order); ++i) {
     PageFrame& f = pool_.frame(pfn + i);

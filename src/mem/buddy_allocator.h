@@ -13,6 +13,8 @@
 
 namespace magesim {
 
+class SimMutex;
+
 class BuddyAllocator {
  public:
   static constexpr int kMaxOrder = 10;  // up to 4 MB blocks
@@ -47,11 +49,17 @@ class BuddyAllocator {
   // checker's ownership census and coalescing check.
   std::vector<std::pair<uint32_t, int>> FreeBlocks() const;
 
+  // Declares the mutex each wrapping allocator uses to serialize this buddy;
+  // AllocBlock/FreeBlock then assert it is held (the concurrency analyzer's
+  // guarded-state rule). Unset for direct-unit-test use.
+  void SetGuard(const SimMutex* guard) { guard_ = guard; }
+
  private:
   uint32_t BuddyOf(uint32_t pfn, int order) const { return pfn ^ (1u << order); }
   void RemoveFromFreeList(uint32_t pfn, int order);
 
   FramePool& pool_;
+  const SimMutex* guard_ = nullptr;
   uint64_t num_frames_;
   uint64_t free_pages_ = 0;
   int last_op_work_ = 0;

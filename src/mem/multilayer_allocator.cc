@@ -1,5 +1,7 @@
 #include "src/mem/multilayer_allocator.h"
 
+#include "src/analysis/guarded.h"
+#include "src/analysis/lock_analyzer.h"
 #include "src/sim/engine.h"
 
 namespace magesim {
@@ -9,10 +11,14 @@ MultilayerAllocator::MultilayerAllocator(BuddyAllocator& buddy, int num_cores,
                                          int core_cache_high)
     : buddy_(buddy), costs_(costs), batch_(core_cache_batch), high_(core_cache_high) {
   caches_.resize(static_cast<size_t>(num_cores));
+  buddy_.SetGuard(&buddy_lock_);
 }
 
 Task<PageFrame*> MultilayerAllocator::Alloc(CoreId core) {
   SimTime start = Engine::current().now();
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->CheckCoreAffinity(core, "core cache fill");
+  }
   auto& cache = caches_[static_cast<size_t>(core)];
   if (!cache.empty()) {
     co_await Delay{costs_.pcp_hit_ns};
@@ -31,6 +37,7 @@ Task<PageFrame*> MultilayerAllocator::Alloc(CoreId core) {
   {
     auto g = co_await queue_lock_.Scoped();
     co_await Delay{costs_.shared_queue_cs_ns};
+    MAGESIM_ASSERT_HELD(queue_lock_, "shared queue (refill pop)");
     for (int i = 0; i < batch_ && !shared_queue_.empty(); ++i) {
       cache.push_back(shared_queue_.front());
       shared_queue_.pop_front();
@@ -65,12 +72,16 @@ Task<PageFrame*> MultilayerAllocator::Alloc(CoreId core) {
 }
 
 Task<> MultilayerAllocator::Free(CoreId core, PageFrame* f) {
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->CheckCoreAffinity(core, "core cache spill");
+  }
   auto& cache = caches_[static_cast<size_t>(core)];
   co_await Delay{costs_.pcp_hit_ns};
   cache.push_back(f);
   if (static_cast<int>(cache.size()) > high_) {
     auto g = co_await queue_lock_.Scoped();
     co_await Delay{costs_.shared_queue_cs_ns};
+    MAGESIM_ASSERT_HELD(queue_lock_, "shared queue (spill push)");
     // Size re-checked each step: concurrent Allocs on this core may have
     // drained the cache while we held the queue lock.
     while (!cache.empty() && static_cast<int>(cache.size()) > high_ - batch_) {
@@ -83,6 +94,7 @@ Task<> MultilayerAllocator::Free(CoreId core, PageFrame* f) {
 Task<> MultilayerAllocator::FreeBatch(CoreId core, const std::vector<PageFrame*>& frames) {
   auto g = co_await queue_lock_.Scoped();
   co_await Delay{costs_.shared_queue_cs_ns};
+  MAGESIM_ASSERT_HELD(queue_lock_, "shared queue (reclaim batch push)");
   for (PageFrame* f : frames) {
     f->state = PageFrame::State::kFree;
     f->vpn = kInvalidVpn;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/analysis/lock_analyzer.h"
+
 namespace magesim {
 
 PageTable::PageTable(uint64_t num_pages) : num_pages_(num_pages) {
@@ -12,6 +14,9 @@ void PageTable::Map(uint64_t vpn, PageFrame* frame) {
   assert(vpn < num_pages_);
   Pte& pte = ptes_[vpn];
   assert(!pte.present);
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->CheckFaultOwner(vpn, "Map");
+  }
   pte.frame = frame;
   pte.present = true;
   pte.accessed = true;  // the faulting access counts as a reference
@@ -26,6 +31,13 @@ PageFrame* PageTable::Unmap(uint64_t vpn) {
   Pte& pte = ptes_[vpn];
   assert(pte.present);
   PageFrame* f = pte.frame;
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    // Eviction protocol: a frame must be isolated from the accounting lists
+    // (IsolateBatch) before its mapping is torn down; unmapping a frame still
+    // on the LRU/FIFO lists races the accounting scan. Modeling shortcuts
+    // (instant/ideal reclaim) run under AnalysisExemptScope.
+    la->CheckFrameIsolated(f->state == PageFrame::State::kIsolated, vpn, "Unmap");
+  }
   f->dirty = pte.dirty;
   f->referenced = false;
   f->freq = 0;
@@ -42,6 +54,9 @@ bool PageTable::TryBeginFault(uint64_t vpn) {
   Pte& pte = ptes_[vpn];
   if (pte.fault_in_flight) return false;
   pte.fault_in_flight = true;
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->OnFaultBegin(vpn);
+  }
   return true;
 }
 
@@ -49,7 +64,7 @@ Task<> PageTable::WaitForFault(uint64_t vpn) {
   auto it = fault_waiters_.find(vpn);
   std::shared_ptr<SimEvent> ev;
   if (it == fault_waiters_.end()) {
-    ev = std::make_shared<SimEvent>();
+    ev = std::make_shared<SimEvent>("fault-wait");
     fault_waiters_.emplace(vpn, ev);
   } else {
     ev = it->second;
@@ -62,6 +77,9 @@ void PageTable::EndFault(uint64_t vpn) {
   Pte& pte = ptes_[vpn];
   assert(pte.fault_in_flight);
   pte.fault_in_flight = false;
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->OnFaultEnd(vpn);
+  }
   auto it = fault_waiters_.find(vpn);
   if (it != fault_waiters_.end()) {
     it->second->Set();

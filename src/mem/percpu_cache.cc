@@ -1,5 +1,6 @@
 #include "src/mem/percpu_cache.h"
 
+#include "src/analysis/lock_analyzer.h"
 #include "src/sim/engine.h"
 
 namespace magesim {
@@ -8,10 +9,14 @@ PcpAllocator::PcpAllocator(BuddyAllocator& buddy, int num_cores, AllocatorCosts 
                            int high_watermark)
     : buddy_(buddy), costs_(costs), batch_(batch), high_(high_watermark) {
   caches_.resize(static_cast<size_t>(num_cores));
+  buddy_.SetGuard(&buddy_lock_);
 }
 
 Task<PageFrame*> PcpAllocator::Alloc(CoreId core) {
   SimTime start = Engine::current().now();
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->CheckCoreAffinity(core, "pcp cache fill");
+  }
   auto& cache = caches_[static_cast<size_t>(core)];
   if (!cache.empty()) {
     co_await Delay{costs_.pcp_hit_ns};
@@ -46,6 +51,9 @@ Task<PageFrame*> PcpAllocator::Alloc(CoreId core) {
 }
 
 Task<> PcpAllocator::Free(CoreId core, PageFrame* f) {
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->CheckCoreAffinity(core, "pcp cache spill");
+  }
   auto& cache = caches_[static_cast<size_t>(core)];
   co_await Delay{costs_.pcp_hit_ns};
   cache.push_back(f);
@@ -79,7 +87,9 @@ void PcpAllocator::AppendCached(std::vector<PageFrame*>* out) const {
 }
 
 GlobalMutexAllocator::GlobalMutexAllocator(BuddyAllocator& buddy, AllocatorCosts costs)
-    : buddy_(buddy), costs_(costs) {}
+    : buddy_(buddy), costs_(costs) {
+  buddy_.SetGuard(&mutex_);
+}
 
 Task<PageFrame*> GlobalMutexAllocator::Alloc(CoreId core) {
   SimTime start = Engine::current().now();

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/analysis/guarded.h"
 #include "src/sim/engine.h"
 
 namespace magesim {
@@ -36,6 +37,7 @@ void SwapAllocator::MarkUsedForSetup(uint64_t slot) {
 Task<uint64_t> SwapAllocator::Alloc(CoreId core) {
   auto g = co_await lock_.Scoped();
   co_await Delay{cs_ns_};
+  MAGESIM_ASSERT_HELD(lock_, "swap slot bitmap (alloc)");
   if (free_slots_ == 0) {
     co_return kNoSlot;
   }
@@ -52,6 +54,7 @@ Task<> SwapAllocator::Free(uint64_t slot) {
   assert(slot < num_slots_);
   auto g = co_await lock_.Scoped();
   co_await Delay{cs_ns_ / 2};
+  MAGESIM_ASSERT_HELD(lock_, "swap slot bitmap (free)");
   assert(used_[slot]);
   used_[slot] = false;
   ++free_slots_;

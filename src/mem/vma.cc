@@ -1,5 +1,6 @@
 #include "src/mem/vma.h"
 
+#include "src/analysis/guarded.h"
 #include "src/sim/engine.h"
 
 namespace magesim {
@@ -18,6 +19,7 @@ const Vma* Lookup(const std::vector<Vma>& vmas, uint64_t vpn) {
 Task<const Vma*> LockedVmaSet::Find(uint64_t vpn) {
   auto g = co_await lock_.Scoped();
   co_await Delay{cs_ns_};
+  MAGESIM_ASSERT_HELD(lock_, "vma tree walk");
   co_return Lookup(vmas_, vpn);
 }
 
@@ -34,6 +36,7 @@ Task<const Vma*> ShardedVmaSet::Find(uint64_t vpn) {
   size_t shard = static_cast<size_t>(vpn / vpns_per_shard_) % shards_.size();
   auto g = co_await shards_[shard]->Scoped();
   co_await Delay{cs_ns_};
+  MAGESIM_ASSERT_HELD(*shards_[shard], "vma shard walk");
   co_return Lookup(vmas_, vpn);
 }
 

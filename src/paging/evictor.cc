@@ -1,5 +1,6 @@
 // Sequential (non-pipelined) evictor threads and the Hermit-style feedback
 // controller.
+#include "src/analysis/lock_analyzer.h"
 #include "src/paging/kernel.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
@@ -8,6 +9,10 @@ namespace magesim {
 
 Task<> Kernel::SequentialEvictorMain(int evictor_id, CoreId core) {
   Engine& eng = Engine::current();
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    // Unbound (-1): evictors legitimately touch other cores' structures.
+    la->NameCurrentTask("evictor-" + std::to_string(evictor_id));
+  }
   for (;;) {
     if (evictor_id >= active_evictors_) {
       // Parked by the feedback controller; check back periodically while the
@@ -53,6 +58,9 @@ Task<> Kernel::FeedbackControllerMain() {
   // Hermit's feedback-directed asynchrony: scale the number of active
   // evictor threads with reclaim pressure.
   Engine& eng = Engine::current();
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->NameCurrentTask("evict-controller");
+  }
   constexpr SimTime kPeriod = 100 * kMicrosecond;
   uint64_t last_faults = 0;
   while (!eng.shutdown_requested()) {

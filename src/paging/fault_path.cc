@@ -73,6 +73,7 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     // --- VMA resolution (variant-dependent locking) ---
     const Vma* v = co_await vma_->Find(vpn);
     assert(v != nullptr);
+    (void)v;  // only consulted by the assert in NDEBUG builds
   }
   stats_.fault_breakdown.Add(kCatEntry, eng.now() - t0);
 

@@ -7,6 +7,7 @@
 #include "src/accounting/mglru.h"
 #include "src/accounting/partitioned_fifo.h"
 #include "src/accounting/s3fifo.h"
+#include "src/analysis/lock_analyzer.h"
 #include "src/metrics/profiler.h"
 #include "src/paging/prefetcher.h"
 #include "src/resilience/resilient_rdma.h"
@@ -177,6 +178,9 @@ bool Kernel::TryFastAccess(uint64_t vpn, bool write) {
 }
 
 void Kernel::InstantReclaim(uint64_t vpn) {
+  // Deliberate modeling shortcut (pre-evicted pages, zero simulated cost):
+  // bypasses the isolation protocol and the buddy lock on purpose.
+  AnalysisExemptScope exempt;
   Pte& pte = pt_->At(vpn);
   if (!pte.present || pte.fault_in_flight) return;
   PageFrame* f = pt_->Unmap(vpn);
@@ -188,6 +192,8 @@ void Kernel::InstantReclaim(uint64_t vpn) {
 }
 
 void Kernel::IdealReclaimOne() {
+  // Ideal-variant eviction is free by definition; exempt from lock analysis.
+  AnalysisExemptScope exempt;
   while (!ideal_fifo_.empty()) {
     uint64_t vpn = ideal_fifo_.front();
     ideal_fifo_.pop_front();
@@ -208,6 +214,8 @@ void Kernel::MaybeWakeEvictors() {
 
 Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
   if (config_.variant == Variant::kIdeal) {
+    // The ideal variant has no allocator locks by construction.
+    AnalysisExemptScope exempt;
     PageFrame* f = buddy_->AllocPage();
     if (f == nullptr) {
       IdealReclaimOne();
@@ -394,6 +402,9 @@ Task<> Kernel::LazyTlbTickerMain() {
   // full flush on every application core (charged as stolen time) and
   // releases eviction batches parked on the epoch.
   Engine& eng = Engine::current();
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->NameCurrentTask("lazy-tlb-ticker");
+  }
   const MachineParams& hw = topo_.params();
   while (!eng.shutdown_requested()) {
     co_await Delay{config_.lazy_tlb_period_ns};

@@ -195,8 +195,8 @@ class Kernel {
   std::vector<bool> prefetched_;
 
   // Free-page pressure plumbing.
-  SimEvent evictor_wake_;
-  SimEvent free_pages_available_;
+  SimEvent evictor_wake_{"evictor-wake"};
+  SimEvent free_pages_available_{"free-pages"};
   bool FaultersWaitingForPages() const { return free_pages_available_.num_waiters() > 0; }
 
  public:
@@ -217,7 +217,7 @@ class Kernel {
 
   // Lazy-TLB epoch plumbing: waiting on the event resumes at the next tick,
   // by which point every core has flushed.
-  SimEvent lazy_epoch_;
+  SimEvent lazy_epoch_{"lazy-epoch"};
   uint64_t lazy_epochs_ = 0;
 
   // Ideal-variant FIFO of resident vpns.

@@ -9,6 +9,7 @@
 // other stages' overheads.
 #include <optional>
 
+#include "src/analysis/lock_analyzer.h"
 #include "src/metrics/profiler.h"
 #include "src/paging/kernel.h"
 #include "src/resilience/resilient_rdma.h"
@@ -19,6 +20,10 @@ namespace magesim {
 
 Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
   Engine& eng = Engine::current();
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    // Unbound (-1): evictors legitimately touch other cores' structures.
+    la->NameCurrentTask("evictor-" + std::to_string(evictor_id));
+  }
   std::optional<EvictionBatch> prev;
   std::optional<EvictionBatch> prevprev;
 

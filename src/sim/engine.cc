@@ -23,16 +23,18 @@ Engine& Engine::current() {
   return *current_;
 }
 
-void Engine::ScheduleAt(SimTime t, std::coroutine_handle<> h) {
+void Engine::ScheduleAt(SimTime t, std::coroutine_handle<> h, TaskId task) {
   assert(h);
   if (t < now_) {
     t = now_;  // Never schedule into the past.
   }
-  queue_.push(Event{t, seq_++, h});
+  queue_.push(Event{t, seq_++, h, task});
 }
 
-void Engine::Spawn(Task<> task) {
-  ScheduleAt(now_, task.Detach());
+TaskId Engine::Spawn(Task<> task) {
+  TaskId id = ++last_task_id_;
+  ScheduleAt(now_, task.Detach(), id);
+  return id;
 }
 
 uint64_t Engine::Run() {
@@ -42,9 +44,11 @@ uint64_t Engine::Run() {
     queue_.pop();
     assert(ev.t >= now_);
     now_ = ev.t;
+    current_task_ = ev.task;
     ++processed;
     ev.h.resume();
   }
+  current_task_ = kNoTask;
   events_processed_ += processed;
   return processed;
 }

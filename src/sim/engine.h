@@ -5,6 +5,13 @@
 // on awaitables (Delay, SimMutex::Lock, ...) that re-schedule them through the
 // engine's time-ordered event queue. The engine is strictly single-threaded
 // and deterministic: events with equal timestamps run in scheduling order.
+//
+// Every top-level coroutine spawned through Spawn() gets a logical TaskId.
+// Scheduling a continuation inherits the scheduler's current task by default;
+// primitives that wake *other* tasks (lock handoff, event release) pass the
+// woken task's id explicitly so the analyzer can attribute every resumption
+// to the logical task it belongs to. Child coroutines awaited via symmetric
+// transfer run within the parent's event, and therefore its task id.
 #ifndef MAGESIM_SIM_ENGINE_H_
 #define MAGESIM_SIM_ENGINE_H_
 
@@ -13,6 +20,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/sim/analysis_hooks.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -32,11 +40,32 @@ class Engine {
 
   SimTime now() const { return now_; }
 
-  void ScheduleAt(SimTime t, std::coroutine_handle<> h);
-  void ScheduleAfter(SimTime dt, std::coroutine_handle<> h) { ScheduleAt(now_ + dt, h); }
+  // Schedules `h` at time `t`, attributed to the currently running task (or
+  // to `task` in the explicit overload — used when waking another task).
+  void ScheduleAt(SimTime t, std::coroutine_handle<> h) { ScheduleAt(t, h, current_task_); }
+  void ScheduleAt(SimTime t, std::coroutine_handle<> h, TaskId task);
+  void ScheduleAfter(SimTime dt, std::coroutine_handle<> h) {
+    ScheduleAt(now_ + dt, h, current_task_);
+  }
+  void ScheduleAfter(SimTime dt, std::coroutine_handle<> h, TaskId task) {
+    ScheduleAt(now_ + dt, h, task);
+  }
 
-  // Detaches `task` and schedules its first step at the current time.
-  void Spawn(Task<> task);
+  // Detaches `task` and schedules its first step at the current time under a
+  // fresh logical task id, which is returned.
+  TaskId Spawn(Task<> task);
+
+  // The logical task whose event is currently being processed; kNoTask
+  // outside Run() (setup and teardown code).
+  TaskId current_task() const { return current_task_; }
+
+  // As current_task(), but safe when no Engine exists.
+  static TaskId CurrentTaskOrNone() {
+    return current_ != nullptr ? current_->current_task_ : kNoTask;
+  }
+
+  // As now(), but safe when no Engine exists (diagnostics paths).
+  static SimTime NowOrZero() { return current_ != nullptr ? current_->now_ : 0; }
 
   // Runs events until the queue is empty. Returns the number of events
   // processed. Long-running tasks should poll shutdown_requested() so that a
@@ -55,6 +84,7 @@ class Engine {
     SimTime t;
     uint64_t seq;
     std::coroutine_handle<> h;
+    TaskId task;
     bool operator>(const Event& o) const {
       if (t != o.t) return t > o.t;
       return seq > o.seq;
@@ -65,6 +95,8 @@ class Engine {
   SimTime now_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_processed_ = 0;
+  TaskId current_task_ = kNoTask;
+  TaskId last_task_id_ = kNoTask;
   bool shutdown_ = false;
 
   static Engine* current_;
@@ -76,7 +108,11 @@ struct Delay {
   SimTime d;
   bool await_ready() const noexcept { return d <= 0; }
   void await_suspend(std::coroutine_handle<> h) const {
-    Engine::current().ScheduleAfter(d, h);
+    Engine& e = Engine::current();
+    if (const SimAnalysisHooks* hk = AnalysisHooks()) {
+      hk->on_await(hk->ctx, nullptr, "delay", AwaitKind::kDelay, e.current_task());
+    }
+    e.ScheduleAfter(d, h);
   }
   void await_resume() const noexcept {}
 };
@@ -86,7 +122,11 @@ struct Delay {
 struct YieldNow {
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
-    Engine::current().ScheduleAfter(0, h);
+    Engine& e = Engine::current();
+    if (const SimAnalysisHooks* hk = AnalysisHooks()) {
+      hk->on_await(hk->ctx, nullptr, "yield", AwaitKind::kYield, e.current_task());
+    }
+    e.ScheduleAfter(0, h);
   }
   void await_resume() const noexcept {}
 };

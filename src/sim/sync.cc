@@ -12,4 +12,20 @@ void SetLockWaitObserver(LockWaitObserver fn, void* ctx) {
   internal::g_lock_wait_ctx = ctx;
 }
 
+namespace analysis_internal {
+const SimAnalysisHooks* g_hooks = nullptr;
+int g_exempt_depth = 0;
+}  // namespace analysis_internal
+
+void SetAnalysisHooks(const SimAnalysisHooks* hooks) {
+  analysis_internal::g_hooks = hooks;
+}
+
+Task<> SimCondVar::Wait(SimMutex& m) {
+  m.AssertHeld("condvar wait");
+  m.Unlock();
+  co_await WaitAwaiter{*this};
+  co_await m.Lock();
+}
+
 }  // namespace magesim

@@ -50,6 +50,8 @@ const char* TraceEventName(TraceEventType t) {
     case TraceEventType::kWritebackLost: return "writeback_lost";
     case TraceEventType::kEvictBackpressure: return "evict_backpressure";
     case TraceEventType::kPrefetchThrottle: return "prefetch_throttle";
+    case TraceEventType::kAnalysisLockOrderEdge: return "analysis.lock_order_edge";
+    case TraceEventType::kAnalysisViolation: return "analysis.violation";
     case TraceEventType::kNumTypes: break;
   }
   return "unknown";

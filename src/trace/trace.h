@@ -68,6 +68,8 @@ enum class TraceEventType : uint8_t {
   kWritebackLost,    // actor=evictor id, arg=pages lost
   kEvictBackpressure,// actor=evictor id, arg=waited ns
   kPrefetchThrottle, // actor=core, page (suppressed: read channel degraded)
+  kAnalysisLockOrderEdge,  // actor=task id, page=from lock class, frame=to lock class
+  kAnalysisViolation,      // actor=task id, arg=AnalysisViolationKind
   kNumTypes,
 };
 

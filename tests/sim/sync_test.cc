@@ -52,6 +52,42 @@ TEST(SimMutexTest, TryLockRespectsState) {
   EXPECT_FALSE(m.locked());
 }
 
+TEST(SimMutexTest, TryLockCountsInStats) {
+  // Regression: TryLock acquisitions must land in stats() exactly like
+  // Lock() ones (both route through DoAcquire).
+  Engine e;
+  SimMutex m;
+  EXPECT_TRUE(m.TryLock());
+  m.Unlock();
+  EXPECT_TRUE(m.TryLock());
+  m.Unlock();
+  EXPECT_FALSE(m.TryLock() && m.TryLock());  // second attempt fails, no count
+  m.Unlock();
+  EXPECT_EQ(m.stats().acquisitions, 3u);
+  EXPECT_EQ(m.stats().contended, 0u);
+}
+
+Task<> TrackOwner(Engine& e, SimMutex& m, TaskId& observed) {
+  co_await m.Lock();
+  observed = m.owner();
+  co_await Delay{10};
+  m.Unlock();
+}
+
+TEST(SimMutexTest, OwnerTracksLogicalTask) {
+  Engine e;
+  SimMutex m;
+  TaskId observed = kNoTask;
+  e.Spawn(TrackOwner(e, m, observed));
+  e.Run();
+  EXPECT_NE(observed, kNoTask);  // task ids start at 1; kNoTask means setup
+  EXPECT_EQ(m.owner(), kNoTask);  // released at end of run
+  // Setup-code acquisition (outside any task) is owned by kNoTask.
+  EXPECT_TRUE(m.TryLock());
+  EXPECT_EQ(m.owner(), kNoTask);
+  m.Unlock();
+}
+
 Task<> ScopedUser(SimMutex& m, int& critical, bool& ok, WaitGroup& wg) {
   {
     auto g = co_await m.Scoped();
