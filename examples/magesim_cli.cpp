@@ -5,11 +5,21 @@
 //   magesim_cli --workload=zipf-trace --system=dilos --far=40 --save-trace=out.trc
 //   magesim_cli --workload=seqscan --system=magelib --trace=events.jsonl
 //               --check-interval=100
+//   magesim_cli --tenant='lat:4:0.4:latency=seqscan/2,pages=4096,passes=64'
+//               --tenant='bg:1:0.8:batch=gups/2' --system=magelib --far=50
 //
-// Workloads: pagerank, xsbench, seqscan, gups, metis, memcached,
-//            zipf-trace, mixed-trace, trace (requires --trace-file).
+// Workloads come from the registry (src/workloads/registry.h); run
+// --list-workloads for names, descriptions and per-workload options, and pass
+// overrides with --workload-opts=key=val,key=val. "trace" requires
+// --trace-file.
 // Systems:   ideal, hermit, dilos, magelnx, magelib, fastswap.
 //
+// Multi-tenancy (src/tenancy):
+//   --tenant=spec         attach a memory control group running its own
+//                         workload; repeat the flag once per tenant. Spec
+//                         grammar: name:weight:limit[:soft]:qos=workload
+//                         [/threads][,key=val...] — see src/tenancy/
+//                         tenant_spec.h. MAGESIM_TENANCY overrides.
 // Debugging:
 //   --trace=path          write every simulation event as JSONL
 //   --trace-chrome=path   write a chrome://tracing / Perfetto JSON timeline
@@ -32,18 +42,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/check/invariant_checker.h"
 #include "src/trace/trace.h"
 
 #include "src/core/farmem.h"
-#include "src/workloads/gups.h"
-#include "src/workloads/memcached.h"
-#include "src/workloads/metis.h"
-#include "src/workloads/pagerank.h"
-#include "src/workloads/seqscan.h"
+#include "src/tenancy/tenant_spec.h"
+#include "src/workloads/registry.h"
 #include "src/workloads/trace.h"
-#include "src/workloads/xsbench.h"
 
 namespace {
 
@@ -64,25 +71,61 @@ std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
   return args;
 }
 
+// ParseArgs collapses repeated flags; --tenant legitimately repeats, so it
+// gets its own pass over argv.
+std::vector<std::string> CollectTenantSpecs(int argc, char** argv) {
+  std::vector<std::string> specs;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--tenant=", 0) == 0) specs.push_back(a.substr(std::strlen("--tenant=")));
+  }
+  return specs;
+}
+
 std::string Get(const std::map<std::string, std::string>& args, const std::string& key,
                 const std::string& def) {
   auto it = args.find(key);
   return it == args.end() ? def : it->second;
 }
 
+// "key=val,key=val" -> map; returns false on an entry with no '='.
+bool ParseKvList(const std::string& s, std::map<std::string, std::string>* out) {
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    std::string kv = s.substr(pos, comma - pos);
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    out->insert_or_assign(kv.substr(0, eq), kv.substr(eq + 1));
+    pos = comma + 1;
+  }
+  return true;
+}
+
+int ListWorkloadsMain() {
+  for (const magesim::WorkloadInfo& w : magesim::ListWorkloads()) {
+    std::printf("%-12s %s\n", w.name.c_str(), w.description.c_str());
+    std::printf("%-12s options: %s\n", "", w.options.c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: magesim_cli --workload=<name> --system=<name> [--far=<pct>]\n"
-               "                   [--threads=N] [--trace-file=path] [--save-trace=path]\n"
+               "                   [--threads=N] [--workload-opts=k=v,...]\n"
+               "                   [--tenant=spec]... [--list-workloads]\n"
+               "                   [--trace-file=path] [--save-trace=path]\n"
                "                   [--trace=events.jsonl] [--trace-chrome=timeline.json]\n"
                "                   [--check-interval=us] [--check] [--analysis]\n"
                "                   [--metrics-out=report.json] [--metrics-csv=series.csv]\n"
                "                   [--metrics-prom=metrics.txt] [--sample-interval-us=N]\n"
                "                   [--progress] [--fault-plan=spec|@file]\n"
                "                   [--terminal=poison|fail] [--seed=N]\n"
-               "workloads: pagerank xsbench seqscan gups metis memcached\n"
-               "           zipf-trace mixed-trace trace\n"
-               "systems:   ideal hermit dilos magelnx magelib fastswap\n");
+               "workloads: see --list-workloads (trace requires --trace-file)\n"
+               "systems:   ideal hermit dilos magelnx magelib fastswap\n"
+               "tenants:   --tenant=name:weight:limit[:soft]:qos=workload[/threads][,k=v...]\n");
   return 2;
 }
 
@@ -91,60 +134,48 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace magesim;
   auto args = ParseArgs(argc, argv);
+  if (args.count("list-workloads") != 0) return ListWorkloadsMain();
+
   std::string wname = Get(args, "workload", "");
   std::string sname = Get(args, "system", "magelib");
   int far = std::atoi(Get(args, "far", "30").c_str());
   int threads = std::atoi(Get(args, "threads", "24").c_str());
-  if (wname.empty()) return Usage();
+  std::vector<std::string> tenant_specs = CollectTenantSpecs(argc, argv);
+  if (wname.empty() && tenant_specs.empty()) return Usage();
 
   std::unique_ptr<Workload> wl;
-  if (wname == "pagerank") {
-    wl = std::make_unique<PageRankWorkload>(
-        PageRankWorkload::Options{.scale = 16, .iterations = 3, .threads = threads});
-  } else if (wname == "xsbench") {
-    wl = std::make_unique<XsBenchWorkload>(XsBenchWorkload::Options{
-        .gridpoints = 1 << 18, .lookups_per_thread = 3000, .threads = threads});
-  } else if (wname == "seqscan") {
-    wl = std::make_unique<SeqScanWorkload>(
-        SeqScanWorkload::Options{.region_pages = 32 * 1024, .threads = threads, .passes = 2});
-  } else if (wname == "gups") {
-    wl = std::make_unique<GupsWorkload>(GupsWorkload::Options{
-        .total_pages = 48 * 1024,
-        .threads = threads,
-        .phase_change_at = 300 * kMillisecond,
-        .run_for = 600 * kMillisecond});
-  } else if (wname == "metis") {
-    wl = std::make_unique<MetisWorkload>(MetisWorkload::Options{
-        .input_pages = 16 * 1024, .intermediate_pages = 12 * 1024, .threads = threads});
-  } else if (wname == "memcached") {
-    wl = std::make_unique<MemcachedWorkload>(MemcachedWorkload::Options{
-        .num_keys = 1 << 18,
-        .load_ops_per_sec = 200000,
-        .server_threads = threads,
-        .duration = 1 * kSecond});
-  } else if (wname == "zipf-trace" || wname == "mixed-trace" || wname == "trace") {
-    Trace trace;
-    if (wname == "trace") {
-      std::string path = Get(args, "trace-file", "");
-      if (path.empty() || !Trace::LoadFrom(path, &trace)) {
-        std::fprintf(stderr, "cannot load trace file '%s'\n", path.c_str());
-        return 1;
-      }
-    } else {
-      TraceGenOptions gopt{.wss_pages = 32 * 1024,
-                           .threads = threads,
-                           .accesses_per_thread = 20000};
-      trace = wname == "zipf-trace" ? GenerateZipfTrace(gopt, 0.95)
-                                    : GenerateMixedTrace(gopt, 0.95, 0.2);
+  if (!wname.empty()) {
+    WorkloadParams params;
+    params.threads = threads;
+    if (!ParseKvList(Get(args, "workload-opts", ""), &params.opts)) {
+      std::fprintf(stderr, "malformed --workload-opts (expected key=val,key=val)\n");
+      return 2;
+    }
+    std::string tf = Get(args, "trace-file", "");
+    if (!tf.empty()) params.opts.insert_or_assign("file", tf);
+    std::string werr;
+    wl = MakeWorkload(wname, params, &werr);
+    if (wl == nullptr) {
+      std::fprintf(stderr, "%s\n", werr.c_str());
+      return 2;
     }
     std::string save = Get(args, "save-trace", "");
-    if (!save.empty() && !trace.SaveTo(save)) {
-      std::fprintf(stderr, "cannot save trace to '%s'\n", save.c_str());
-      return 1;
+    if (!save.empty()) {
+      auto* replay = dynamic_cast<TraceReplayWorkload*>(wl.get());
+      if (replay == nullptr) {
+        std::fprintf(stderr, "--save-trace only applies to trace-backed workloads\n");
+        return 2;
+      }
+      if (!replay->trace().SaveTo(save)) {
+        std::fprintf(stderr, "cannot save trace to '%s'\n", save.c_str());
+        return 1;
+      }
     }
-    wl = std::make_unique<TraceReplayWorkload>(std::move(trace));
   } else {
-    return Usage();
+    // Tenancy replaces the constructor workload with a machine-built
+    // MultiTenantWorkload; the placeholder below never runs.
+    wl = MakeWorkload("seqscan", WorkloadParams{.threads = 1, .opts = {{"pages", "64"}, {"passes", "1"}}},
+                      nullptr);
   }
 
   FarMemoryMachine::Options opt;
@@ -153,6 +184,16 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument&) {
     return Usage();
   }
+  for (const std::string& s : tenant_specs) {
+    TenantSpec spec;
+    std::string terr;
+    if (!ParseTenantSpec(s, &spec, &terr)) {
+      std::fprintf(stderr, "bad --tenant spec '%s': %s\n", s.c_str(), terr.c_str());
+      return 2;
+    }
+    opt.tenancy.tenants.push_back(std::move(spec));
+  }
+  opt.tenancy.enabled = !opt.tenancy.tenants.empty();
   opt.local_mem_ratio = 1.0 - static_cast<double>(far) / 100.0;
   opt.time_limit = 5 * kSecond;  // safety stop for open-ended workloads
   opt.seed = static_cast<uint64_t>(std::atoll(Get(args, "seed", "1").c_str()));
@@ -215,10 +256,12 @@ int main(int argc, char** argv) {
   FarMemoryMachine& machine = *machine_ptr;
   RunResult r = machine.Run();
 
-  std::printf("workload=%s system=%s far=%d%% threads=%d\n", wname.c_str(), sname.c_str(),
-              far, wl->num_threads());
+  // With tenancy the machine swaps in a MultiTenantWorkload; report that one.
+  Workload& ran = machine.workload();
+  std::printf("workload=%s system=%s far=%d%% threads=%d\n", ran.name().c_str(), sname.c_str(),
+              far, ran.num_threads());
   std::printf("sim time        %.4f s\n", r.sim_seconds);
-  std::printf("throughput      %.3f M %s/s\n", r.ops_per_sec / 1e6, wl->ops_unit().c_str());
+  std::printf("throughput      %.3f M %s/s\n", r.ops_per_sec / 1e6, ran.ops_unit().c_str());
   std::printf("major faults    %llu (%.2f M/s)\n",
               static_cast<unsigned long long>(r.faults), r.fault_mops);
   std::printf("fault latency   %s\n", r.fault_latency.Summary().c_str());
@@ -228,6 +271,17 @@ int main(int argc, char** argv) {
               r.nic_write_gbps);
   std::printf("tlb shootdowns  %s (ipis %llu)\n", r.tlb_shootdown_latency.Summary().c_str(),
               static_cast<unsigned long long>(r.ipis_sent));
+  for (const TenantRunResult& t : r.tenants) {
+    std::printf("tenant %-8s qos=%-7s %.3f M ops/s  faults %llu  usage %llu/%llu pages"
+                "  evicted %llu  hard-waits %llu  throttles %llu\n",
+                t.name.c_str(), QosClassName(t.qos), t.ops_per_sec / 1e6,
+                static_cast<unsigned long long>(t.faults),
+                static_cast<unsigned long long>(t.usage_pages),
+                static_cast<unsigned long long>(t.hard_limit_pages),
+                static_cast<unsigned long long>(t.evict_selected),
+                static_cast<unsigned long long>(t.hard_limit_waits),
+                static_cast<unsigned long long>(t.backpressure_waits));
+  }
   if (machine.resilience() != nullptr) {
     std::printf("resilience      retries %llu timeouts %llu breaker-opens %llu "
                 "poisoned %llu wb-lost %llu\n",

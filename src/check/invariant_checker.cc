@@ -5,6 +5,7 @@
 
 #include "src/analysis/lock_analyzer.h"
 #include "src/sim/engine.h"
+#include "src/tenancy/memcg.h"
 
 namespace magesim {
 
@@ -50,6 +51,7 @@ const char* ViolationClassName(ViolationClass c) {
     case ViolationClass::kTransitLeak: return "transit_leak";
     case ViolationClass::kStuckFault: return "stuck_fault";
     case ViolationClass::kLockQuiescence: return "lock_quiescence";
+    case ViolationClass::kTenantCharge: return "tenant_charge";
     case ViolationClass::kNumClasses: break;
   }
   return "unknown";
@@ -270,6 +272,65 @@ size_t InvariantChecker::CheckNow() {
                  "leaked its frame", transit, inflight));
   }
 
+  CheckTenantCharges();
+
+  return static_cast<size_t>(total_violations_ - before);
+}
+
+size_t InvariantChecker::CheckTenantCharges() {
+  TenancyManager* ten = kernel_.tenancy();
+  if (ten == nullptr || ten->num_tenants() == 0) return 0;
+  uint64_t before = total_violations_;
+
+  PageTable& pt = kernel_.page_table();
+  std::vector<uint64_t> resident(static_cast<size_t>(ten->num_tenants()), 0);
+  uint64_t total_resident = 0;
+  for (uint64_t vpn = 0; vpn < pt.num_pages(); ++vpn) {
+    bool present = pt.At(vpn).present;
+    int charged = ten->charged_tenant(vpn);
+    if (present) {
+      ++total_resident;
+      int owner = ten->TenantOf(vpn);
+      if (owner >= 0 && owner < ten->num_tenants()) ++resident[static_cast<size_t>(owner)];
+      if (charged < 0) {
+        Add(ViolationClass::kTenantCharge, vpn, kTraceNoFrame,
+            Describe("vpn=%" PRIu64 " is resident but charged to no tenant", vpn));
+      } else if (charged != owner) {
+        Add(ViolationClass::kTenantCharge, vpn, kTraceNoFrame,
+            Describe("vpn=%" PRIu64 " is charged to tenant %" PRIu64
+                     " but its vpn window belongs to another tenant",
+                     vpn, static_cast<uint64_t>(charged)));
+      }
+    } else if (charged >= 0) {
+      Add(ViolationClass::kTenantCharge, vpn, kTraceNoFrame,
+          Describe("vpn=%" PRIu64 " is not resident but still charged to tenant %" PRIu64,
+                   vpn, static_cast<uint64_t>(charged)));
+    }
+  }
+  for (int t = 0; t < ten->num_tenants(); ++t) {
+    uint64_t usage = ten->cgroup(t).usage();
+    if (usage != resident[static_cast<size_t>(t)]) {
+      Add(ViolationClass::kTenantCharge, kTraceNoPage, kTraceNoFrame,
+          Describe("tenant %" PRIu64 " cgroup usage %" PRIu64
+                   " disagrees with its resident page count",
+                   static_cast<uint64_t>(t), usage));
+    }
+  }
+  if (ten->root().usage() != total_resident) {
+    Add(ViolationClass::kTenantCharge, kTraceNoPage, kTraceNoFrame,
+        Describe("root cgroup usage %" PRIu64 " disagrees with %" PRIu64
+                 " total resident pages", ten->root().usage(), total_resident));
+  }
+  if (ten->double_charges() != 0) {
+    Add(ViolationClass::kTenantCharge, kTraceNoPage, kTraceNoFrame,
+        Describe("%" PRIu64 " double charges observed (a vpn charged while "
+                 "already charged)", ten->double_charges()));
+  }
+  if (ten->missing_uncharges() != 0) {
+    Add(ViolationClass::kTenantCharge, kTraceNoPage, kTraceNoFrame,
+        Describe("%" PRIu64 " uncharges observed for vpns that were not "
+                 "charged", ten->missing_uncharges()));
+  }
   return static_cast<size_t>(total_violations_ - before);
 }
 

@@ -48,6 +48,7 @@ enum class ViolationClass : uint8_t {
   kTransitLeak,        // more in-transit frames than in-flight faults
   kStuckFault,         // (quiescent only) fault_in_flight never cleared
   kLockQuiescence,     // (quiescent only) a sim lock is still held at drain
+  kTenantCharge,       // memcg charges out of sync with residency
   kNumClasses,
 };
 
@@ -88,6 +89,13 @@ class InvariantChecker {
   // prefetch abandon) never strands a frame or a PTE. Not valid after a
   // time-limit shutdown, which legally parks coroutines mid-fault.
   size_t CheckQuiescent();
+
+  // With a TenancyManager attached to the kernel, cross-validates per-tenant
+  // memcg charges against residency: every present PTE is charged to exactly
+  // the tenant owning its vpn window, no absent page stays charged, per-leaf
+  // charge counts equal each cgroup's usage, and the root usage equals total
+  // resident pages. Runs as part of CheckNow; no-op without tenancy.
+  size_t CheckTenantCharges();
 
   // When a LockAnalyzer is installed, verifies its lock state is quiescent
   // (no task still holds any sim lock). Runs as part of CheckQuiescent; no-op

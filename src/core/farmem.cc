@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "src/metrics/run_report.h"
+#include "src/workloads/multi_tenant.h"
 
 namespace magesim {
 
@@ -42,7 +43,7 @@ std::string LoadFaultPlanText(const std::string& opt) {
 }  // namespace
 
 FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
-    : options_(std::move(options)), workload_(workload) {
+    : options_(std::move(options)), workload_(&workload) {
   if (!options_.hw_overridden) {
     options_.hw = options_.kernel.virtualized ? VirtualizedParams() : BareMetalParams();
   }
@@ -51,7 +52,27 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
   tlb_ = std::make_unique<TlbShootdownManager>(*topo_);
   nic_ = std::make_unique<RdmaNic>(options_.hw);
 
-  uint64_t wss = workload_.wss_pages();
+  // Multi-tenant memory control groups: MAGESIM_TENANCY overrides the option,
+  // and a non-empty tenant list replaces the passed workload with a
+  // machine-built composite running one workload per tenant.
+  if (const char* env = std::getenv("MAGESIM_TENANCY")) {
+    std::string err;
+    TenancyOptions topt;
+    if (!ParseTenancyList(env, &topt, &err)) {
+      throw std::invalid_argument("bad MAGESIM_TENANCY: " + err);
+    }
+    options_.tenancy = std::move(topt);
+  }
+  if (options_.tenancy.enabled && !options_.tenancy.tenants.empty()) {
+    std::string err;
+    owned_workload_ = MultiTenantWorkload::Build(&options_.tenancy.tenants, &err);
+    if (owned_workload_ == nullptr) {
+      throw std::invalid_argument("bad tenancy spec: " + err);
+    }
+    workload_ = owned_workload_.get();
+  }
+
+  uint64_t wss = workload_->wss_pages();
   double ratio = std::clamp(options_.local_mem_ratio, 0.01, 1.0);
   uint64_t local_raw = static_cast<uint64_t>(static_cast<double>(wss) * ratio);
   uint64_t local_pages;
@@ -73,7 +94,13 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
   bool reserved = memnode_->ReserveDirect(wss * kPageSize);
   assert(reserved);
   (void)reserved;
-  kernel_ = std::make_unique<Kernel>(options_.kernel, *topo_, *tlb_, *nic_, local_pages, wss);
+  if (options_.tenancy.enabled && !options_.tenancy.tenants.empty()) {
+    tenancy_ = std::make_unique<TenancyManager>(options_.tenancy, local_pages, wss,
+                                                options_.kernel.low_watermark,
+                                                options_.kernel.high_watermark);
+  }
+  kernel_ = std::make_unique<Kernel>(options_.kernel, *topo_, *tlb_, *nic_, local_pages, wss,
+                                     tenancy_.get());
 
   // Deterministic fault injection + resilient data path.
   if (const char* env = std::getenv("MAGESIM_FAULT_PLAN")) {
@@ -98,7 +125,7 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
     kernel_->SetResilience(resilience_.get());
   }
 
-  int threads = workload_.num_threads();
+  int threads = workload_->num_threads();
   assert(threads <= topo_->num_cores());
   std::vector<CoreId> app_cores;
   for (int i = 0; i < threads; ++i) {
@@ -211,7 +238,7 @@ Task<> FarMemoryMachine::RunThread(int tid) {
     // App threads are core-bound: per-CPU cache affinity is checkable.
     la->NameCurrentTask("app-" + std::to_string(tid), tid);
   }
-  co_await workload_.ThreadBody(*threads_[static_cast<size_t>(tid)], tid);
+  co_await workload_->ThreadBody(*threads_[static_cast<size_t>(tid)], tid);
   wg_.Done();
 }
 
@@ -241,7 +268,7 @@ RunResult FarMemoryMachine::Run() {
   assert(!ran_);
   ran_ = true;
 
-  int threads = workload_.num_threads();
+  int threads = workload_->num_threads();
   wg_.Add(threads);
   for (int tid = 0; tid < threads; ++tid) {
     engine_->Spawn(RunThread(tid));
@@ -338,6 +365,33 @@ RunResult FarMemoryMachine::Run() {
     r.fault_windows = injector_->windows_opened();
     r.memnode_crashes = memnode_->crash_episodes();
   }
+  if (tenancy_ != nullptr) {
+    for (int t = 0; t < tenancy_->num_tenants(); ++t) {
+      const TenantSpec& s = tenancy_->spec(t);
+      const MemCgroup& cg = tenancy_->cgroup(t);
+      TenantRunResult tr;
+      tr.name = s.name;
+      tr.qos = s.qos;
+      for (int tid = s.thread_begin; tid < s.thread_end; ++tid) {
+        tr.ops += threads_[static_cast<size_t>(tid)]->ops;
+      }
+      if (r.sim_seconds > 0) tr.ops_per_sec = static_cast<double>(tr.ops) / r.sim_seconds;
+      tr.faults = cg.faults();
+      tr.usage_pages = cg.usage();
+      tr.peak_usage_pages = cg.peak_usage();
+      tr.hard_limit_pages = cg.hard_limit();
+      tr.soft_limit_pages = cg.soft_limit();
+      tr.effective_soft_limit_pages = cg.effective_soft_limit();
+      tr.max_overage_pages = cg.max_overage();
+      tr.evict_selected = cg.evict_selected();
+      tr.hard_limit_waits = cg.hard_limit_waits();
+      tr.hard_wait_ns = cg.hard_wait_ns();
+      tr.soft_adjusts = cg.soft_adjusts();
+      tr.prefetch_denied = cg.prefetch_denied();
+      tr.backpressure_waits = cg.backpressure_waits();
+      r.tenants.push_back(std::move(tr));
+    }
+  }
   if (metrics_ != nullptr) {
     if (sampler_ != nullptr) {
       sampler_->SampleNow();  // final row at the drain time (dropped if dup)
@@ -415,6 +469,27 @@ void FarMemoryMachine::PublishMetrics(const RunResult& r) {
     m.Counter("nic.reads_errored").Set(nic_->reads_errored());
     m.Counter("nic.writes_errored").Set(nic_->writes_errored());
   }
+  if (tenancy_ != nullptr) {
+    for (const TenantRunResult& t : r.tenants) {
+      std::string p = "tenancy." + t.name + ".";
+      m.Counter(p + "ops").Set(t.ops);
+      m.Counter(p + "faults").Set(t.faults);
+      m.Counter(p + "usage_pages").Set(t.usage_pages);
+      m.Counter(p + "peak_usage_pages").Set(t.peak_usage_pages);
+      m.Counter(p + "hard_limit_pages").Set(t.hard_limit_pages);
+      m.Counter(p + "effective_soft_limit_pages").Set(t.effective_soft_limit_pages);
+      m.Counter(p + "max_overage_pages").Set(t.max_overage_pages);
+      m.Counter(p + "evict_selected").Set(t.evict_selected);
+      m.Counter(p + "hard_limit_waits").Set(t.hard_limit_waits);
+      m.Counter(p + "hard_wait_ns").Set(static_cast<uint64_t>(t.hard_wait_ns));
+      m.Counter(p + "soft_adjusts").Set(t.soft_adjusts);
+      m.Counter(p + "prefetch_denied").Set(t.prefetch_denied);
+      m.Counter(p + "backpressure_waits").Set(t.backpressure_waits);
+      m.Gauge(p + "ops_per_sec").Set(t.ops_per_sec);
+    }
+    m.Counter("tenancy.double_charges").Set(tenancy_->double_charges());
+    m.Counter("tenancy.missing_uncharges").Set(tenancy_->missing_uncharges());
+  }
   m.Gauge("run.ops_per_sec").Set(r.ops_per_sec);
   m.Gauge("run.fault_mops").Set(r.fault_mops);
   m.Gauge("nic.read_gbps").Set(r.nic_read_gbps);
@@ -451,8 +526,8 @@ std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
   w.Key("config");
   w.BeginObject();
   w.KV("kernel", kc.name);
-  w.KV("workload", workload_.name());
-  w.KV("threads", workload_.num_threads());
+  w.KV("workload", workload_->name());
+  w.KV("threads", workload_->num_threads());
   w.KV("cores", topo_->num_cores());
   w.KV("seed", options_.seed);
   w.KV("local_mem_ratio", options_.local_mem_ratio);
@@ -480,6 +555,39 @@ std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
   w.KV("total_ops", r.total_ops);
   w.KV("ops_per_sec", r.ops_per_sec);
   w.EndObject();
+
+  if (tenancy_ != nullptr) {
+    w.Key("tenancy");
+    w.BeginObject();
+    w.KV("num_tenants", tenancy_->num_tenants());
+    w.KV("double_charges", tenancy_->double_charges());
+    w.KV("missing_uncharges", tenancy_->missing_uncharges());
+    w.Key("tenants");
+    w.BeginArray();
+    for (const TenantRunResult& t : r.tenants) {
+      w.BeginObject();
+      w.KV("name", t.name);
+      w.KV("qos", QosClassName(t.qos));
+      w.KV("ops", t.ops);
+      w.KV("ops_per_sec", t.ops_per_sec);
+      w.KV("faults", t.faults);
+      w.KV("usage_pages", t.usage_pages);
+      w.KV("peak_usage_pages", t.peak_usage_pages);
+      w.KV("hard_limit_pages", t.hard_limit_pages);
+      w.KV("soft_limit_pages", t.soft_limit_pages);
+      w.KV("effective_soft_limit_pages", t.effective_soft_limit_pages);
+      w.KV("max_overage_pages", t.max_overage_pages);
+      w.KV("evict_selected", t.evict_selected);
+      w.KV("hard_limit_waits", t.hard_limit_waits);
+      w.KV("hard_wait_ns", t.hard_wait_ns);
+      w.KV("soft_adjusts", t.soft_adjusts);
+      w.KV("prefetch_denied", t.prefetch_denied);
+      w.KV("backpressure_waits", t.backpressure_waits);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
 
   AppendRegistryJson(w, *metrics_);
 

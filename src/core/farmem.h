@@ -26,10 +26,33 @@
 #include "src/paging/kernels.h"
 #include "src/resilience/fault_injector.h"
 #include "src/resilience/resilient_rdma.h"
+#include "src/tenancy/memcg.h"
 #include "src/trace/trace.h"
 #include "src/workloads/workload.h"
 
 namespace magesim {
+
+// Per-tenant slice of a multi-tenant run (empty unless Options::tenancy /
+// MAGESIM_TENANCY attached memory control groups).
+struct TenantRunResult {
+  std::string name;
+  QosClass qos = QosClass::kNormal;
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  uint64_t faults = 0;
+  uint64_t usage_pages = 0;       // resident charge at end of run
+  uint64_t peak_usage_pages = 0;
+  uint64_t hard_limit_pages = 0;  // 0 = unlimited
+  uint64_t soft_limit_pages = 0;
+  uint64_t effective_soft_limit_pages = 0;
+  uint64_t max_overage_pages = 0;
+  uint64_t evict_selected = 0;
+  uint64_t hard_limit_waits = 0;
+  SimTime hard_wait_ns = 0;
+  uint64_t soft_adjusts = 0;
+  uint64_t prefetch_denied = 0;
+  uint64_t backpressure_waits = 0;
+};
 
 struct RunResult {
   // Workload-completion time (when the last application thread finished, or
@@ -90,6 +113,9 @@ struct RunResult {
   uint64_t memnode_crashes = 0;
   bool aborted = false;          // TerminalPolicy::kFailRun tripped
   std::string abort_reason;
+
+  // Per-tenant results, in spec order (empty without tenancy).
+  std::vector<TenantRunResult> tenants;
 };
 
 class FarMemoryMachine {
@@ -163,6 +189,16 @@ class FarMemoryMachine {
     // Retry/breaker/terminal-policy tuning. `resilience.seed == 0` derives a
     // stream from Options::seed.
     ResilienceOptions resilience;
+
+    // Multi-tenant memory control groups. When enabled with a non-empty
+    // tenant list, the machine *replaces* the workload passed to the
+    // constructor with a MultiTenantWorkload built from the specs, attaches
+    // a TenancyManager to the kernel (per-tenant accounting, QoS-aware
+    // victim selection, hard-limit admission, balance controller), and fills
+    // RunResult::tenants. The MAGESIM_TENANCY environment variable
+    // (';'-separated spec list, see src/tenancy/tenant_spec.h) overrides
+    // this, so any existing harness can be run multi-tenant unchanged.
+    TenancyOptions tenancy;
   };
 
   FarMemoryMachine(Options options, Workload& workload);
@@ -175,7 +211,11 @@ class FarMemoryMachine {
   Kernel& kernel() { return *kernel_; }
   Engine& engine() { return *engine_; }
   RdmaNic& nic() { return *nic_; }
-  Workload& workload() { return workload_; }
+  // With tenancy attached this is the machine-built MultiTenantWorkload, not
+  // the workload passed to the constructor.
+  Workload& workload() { return *workload_; }
+  // Null unless tenancy was enabled via Options or MAGESIM_TENANCY.
+  TenancyManager* tenancy() { return tenancy_.get(); }
   const std::vector<std::unique_ptr<AppThread>>& threads() const { return threads_; }
   // Null unless checking was enabled via Options or MAGESIM_CHECK_INTERVAL_US.
   InvariantChecker* checker() { return checker_.get(); }
@@ -202,12 +242,14 @@ class FarMemoryMachine {
   std::string BuildRunReportJson(const RunResult& r) const;
 
   Options options_;
-  Workload& workload_;
+  Workload* workload_;  // the constructor argument, or owned_workload_.get()
+  std::unique_ptr<Workload> owned_workload_;  // machine-built (tenancy only)
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<Topology> topo_;
   std::unique_ptr<TlbShootdownManager> tlb_;
   std::unique_ptr<RdmaNic> nic_;
   std::unique_ptr<MemoryNode> memnode_;
+  std::unique_ptr<TenancyManager> tenancy_;  // destroyed after kernel_
   std::unique_ptr<Kernel> kernel_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<ResilienceManager> resilience_;

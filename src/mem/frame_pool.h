@@ -45,6 +45,10 @@ struct PageFrame {
   PageFrame* prev = nullptr;
   PageFrame* next = nullptr;
   int16_t lru_list = -1;  // accounting partition holding this frame, -1 = none
+  // Memory control group the backing page is charged to (-1 = untenanted).
+  // Stamped at charge time; kept through unmap so eviction bookkeeping can
+  // still route by tenant, overwritten on the next charge.
+  int16_t tenant = -1;
 
   bool linked() const { return lru_list >= 0; }
 };

@@ -24,7 +24,7 @@ Task<> Kernel::SequentialEvictorMain(int evictor_id, CoreId core) {
       }
       continue;
     }
-    if (free_pages() >= high_wm_) {
+    if (free_pages() >= high_wm_ && !TenancyEvictionPressure()) {
       if (eng.shutdown_requested()) co_return;
       // Sleep until the fault path signals pressure (DiLOS wait-wake: the
       // wake itself costs an IPI + context switch, charged on resume).
@@ -43,7 +43,7 @@ Task<> Kernel::SequentialEvictorMain(int evictor_id, CoreId core) {
                                                static_cast<size_t>(config_.evict_batch_pages));
     if (got == 0) {
       if (eng.shutdown_requested()) co_return;
-      if (FaultersWaitingForPages()) {
+      if (FaultersWaitingForPages() || TenancyHardWaiters()) {
         // Blocked faulters cannot signal again; retry once references decay.
         co_await Delay{2 * kMicrosecond};
       } else {

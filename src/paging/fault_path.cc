@@ -52,6 +52,7 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
       }
     }
     pt_->Map(vpn, f);
+    ChargePage(core, vpn, f);
     TraceEmit(TraceEventType::kPageMap, core, vpn, f->pfn);
     if (write) {
       pt_->At(vpn).dirty = true;
@@ -98,6 +99,12 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
   }
   ++stats_.faults;
   TraceEmit(TraceEventType::kFaultStart, core, vpn, kTraceNoFrame, write ? 1 : 0);
+
+  // --- Tenancy admission: QoS backpressure + hard-limit gate ---
+  if (tenancy_ != nullptr) {
+    PhaseScope ps(core, SimPhase::kFreeWait);
+    co_await TenantAdmission(core, vpn);
+  }
 
   // --- Serialized mm bookkeeping (page-table lock, rmap, cgroup: Linux) ---
   if (config_.mm_locks_cs_ns > 0) {
@@ -149,6 +156,7 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     co_await Delay{hw.pte_update_ns};
   }
   pt_->Map(vpn, frame);
+  ChargePage(core, vpn, frame);
   TraceEmit(TraceEventType::kPageMap, core, vpn, frame->pfn);
   if (write) {
     pte.dirty = true;

@@ -12,6 +12,8 @@
 #include "src/paging/prefetcher.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
+#include "src/tenancy/memcg.h"
+#include "src/tenancy/tenant_accounting.h"
 #include "src/trace/trace.h"
 
 namespace magesim {
@@ -21,17 +23,22 @@ namespace {
 const int kCatAccounting = Breakdown::InternCategory("accounting");
 const int kCatTlb = Breakdown::InternCategory("tlb");
 const int kCatOther = Breakdown::InternCategory("other");
+
+// Tenancy controller cadence and the fixed batch-QoS admission backoff.
+constexpr SimTime kTenantControllerPeriodNs = 100'000;
+constexpr SimTime kTenantBackpressureNs = 2'000;
 }  // namespace
 
 Kernel::Kernel(const KernelConfig& config, Topology& topo, TlbShootdownManager& tlb,
-               RdmaNic& nic, uint64_t local_pages, uint64_t wss_pages)
+               RdmaNic& nic, uint64_t local_pages, uint64_t wss_pages, TenancyManager* tenancy)
     : config_(config),
       topo_(topo),
       tlb_(tlb),
       nic_(nic),
       local_pages_(local_pages),
       wss_pages_(wss_pages),
-      direct_map_(0) {
+      direct_map_(0),
+      tenancy_(tenancy) {
   low_wm_ = static_cast<uint64_t>(static_cast<double>(local_pages) * config.low_watermark);
   high_wm_ = static_cast<uint64_t>(static_cast<double>(local_pages) * config.high_watermark);
   min_wm_ = static_cast<uint64_t>(static_cast<double>(local_pages) * config.min_watermark);
@@ -71,20 +78,29 @@ Kernel::Kernel(const KernelConfig& config, Topology& topo, TlbShootdownManager& 
   }
 
   pt_ = std::make_unique<PageTable>(wss_pages);
-  switch (config.accounting) {
-    case AccountingPolicy::kPartitionedFifo:
-      accounting_ = std::make_unique<PartitionedFifo>(*pt_, config.accounting_partitions,
-                                                      std::max(config.num_evictors, 1));
-      break;
-    case AccountingPolicy::kGlobalLru:
-      accounting_ = std::make_unique<GlobalLru>(*pt_);
-      break;
-    case AccountingPolicy::kS3Fifo:
-      accounting_ = std::make_unique<S3Fifo>(*pt_);
-      break;
-    case AccountingPolicy::kMgLru:
-      accounting_ = std::make_unique<MgLru>(*pt_);
-      break;
+  auto make_policy = [&]() -> std::unique_ptr<PageAccounting> {
+    switch (config.accounting) {
+      case AccountingPolicy::kPartitionedFifo:
+        return std::make_unique<PartitionedFifo>(*pt_, config.accounting_partitions,
+                                                 std::max(config.num_evictors, 1));
+      case AccountingPolicy::kGlobalLru:
+        return std::make_unique<GlobalLru>(*pt_);
+      case AccountingPolicy::kS3Fifo:
+        return std::make_unique<S3Fifo>(*pt_);
+      case AccountingPolicy::kMgLru:
+        return std::make_unique<MgLru>(*pt_);
+    }
+    return nullptr;
+  };
+  if (tenancy_ != nullptr && tenancy_->num_tenants() > 0) {
+    // One full policy instance per cgroup: each tenant keeps its own
+    // recency/frequency state, and the facade arbitrates across them.
+    std::vector<std::unique_ptr<PageAccounting>> per_tenant;
+    per_tenant.reserve(static_cast<size_t>(tenancy_->num_tenants()));
+    for (int t = 0; t < tenancy_->num_tenants(); ++t) per_tenant.push_back(make_policy());
+    accounting_ = std::make_unique<TenantAccounting>(*tenancy_, std::move(per_tenant));
+  } else {
+    accounting_ = make_policy();
   }
 
   switch (config.vma_mode) {
@@ -136,11 +152,19 @@ void Kernel::Prepopulate(uint64_t resident_pages) {
     acc += resident_pages;
     if (acc < wss_pages_) continue;
     acc -= wss_pages_;
+    // Hard limits hold from t=0: budget a capped tenant cannot take is left
+    // free for the evictors' headroom instead.
+    if (tenancy_ != nullptr && tenancy_->cgroup(tenancy_->TenantOf(vpn)).OverHard()) {
+      continue;
+    }
     ++mapped;
     PageFrame* f = buddy_->AllocPage();
     assert(f != nullptr);
     pt_->Map(vpn, f);
     pt_->At(vpn).accessed = false;
+    // Setup-time charge: silent (no trace events) so prepopulation does not
+    // perturb golden traces, but the charge set still mirrors the PTEs.
+    if (tenancy_ != nullptr) tenancy_->Charge(vpn, f);
     // Register with accounting directly (setup-time, no lock costs). Spread
     // across stand-in core ids so partitioned accounting starts balanced.
     if (config_.variant == Variant::kIdeal) {
@@ -185,6 +209,7 @@ void Kernel::InstantReclaim(uint64_t vpn) {
   if (!pte.present || pte.fault_in_flight) return;
   PageFrame* f = pt_->Unmap(vpn);
   accounting_->Unlink(f);
+  UnchargePage(-1, vpn, f);
   remote_valid_[vpn] = true;  // emulates a completed pageout
   TraceEmit(TraceEventType::kPageUnmap, -1, vpn, f->pfn);
   TraceEmit(TraceEventType::kFrameFree, -1, vpn, f->pfn);
@@ -200,6 +225,7 @@ void Kernel::IdealReclaimOne() {
     Pte& pte = pt_->At(vpn);
     if (!pte.present || pte.fault_in_flight) continue;
     PageFrame* f = pt_->Unmap(vpn);
+    UnchargePage(-1, vpn, f);
     remote_valid_[vpn] = true;  // ideal eviction costs nothing
     buddy_->FreePage(f);        // resets state/vpn/dirty
     return;
@@ -207,8 +233,118 @@ void Kernel::IdealReclaimOne() {
 }
 
 void Kernel::MaybeWakeEvictors() {
-  if (free_pages() < low_wm_) {
+  if (free_pages() < low_wm_ || TenancyEvictionPressure()) {
     evictor_wake_.Pulse();
+  }
+}
+
+void Kernel::ChargePage(int actor, uint64_t vpn, PageFrame* f) {
+  if (tenancy_ == nullptr) return;
+  int t = tenancy_->Charge(vpn, f);
+  TraceEmit(TraceEventType::kTenantCharge, actor, vpn, f->pfn, static_cast<uint64_t>(t));
+}
+
+void Kernel::UnchargePage(int actor, uint64_t vpn, PageFrame* f) {
+  if (tenancy_ == nullptr) return;
+  int t = tenancy_->Uncharge(vpn, f);
+  TraceEmit(TraceEventType::kTenantUncharge, actor, vpn, f->pfn, static_cast<uint64_t>(t));
+}
+
+bool Kernel::TenancyEvictionPressure() const {
+  return tenancy_ != nullptr && tenancy_->EvictionPressure();
+}
+
+bool Kernel::TenancyHardWaiters() const {
+  return tenancy_ != nullptr && tenancy_->HasHardWaiters();
+}
+
+Task<> Kernel::TenantAdmission(CoreId core, uint64_t vpn) {
+  if (tenancy_ == nullptr) co_return;
+  int t = tenancy_->TenantOf(vpn);
+  MemCgroup& cg = tenancy_->cgroup(t);
+  cg.NoteFault();
+
+  // Batch tenants absorb backpressure first: when memory is tight or the
+  // write channel is degraded, their faults are delayed before they compete
+  // for frames, leaving headroom for latency/normal tenants.
+  if (cg.qos() == QosClass::kBatch &&
+      (free_pages() < low_wm_ ||
+       (resilience_ != nullptr && resilience_->write_degraded()))) {
+    cg.NoteBackpressure();
+    TraceEmit(TraceEventType::kTenantThrottle, core, vpn, kTraceNoFrame,
+              static_cast<uint64_t>(t));
+    co_await Delay{kTenantBackpressureNs};
+  }
+
+  // Hard-limit admission: park on the tenant's headroom event until an
+  // uncharge drops usage back under the limit. Waking the evictors here is
+  // what reclaims pages from this tenant (it is over its soft limit too, by
+  // construction: soft <= hard).
+  if (cg.OverHard()) {
+    SimTime w0 = Engine::current().now();
+    while (cg.OverHard()) {
+      tenancy_->NoteHardWaiter(t, +1);
+      evictor_wake_.Pulse();
+      co_await tenancy_->headroom_event(t).Wait();
+      tenancy_->NoteHardWaiter(t, -1);
+    }
+    SimTime waited = Engine::current().now() - w0;
+    cg.NoteHardWait(waited);
+    TraceEmit(TraceEventType::kTenantHardWait, core, vpn, kTraceNoFrame,
+              static_cast<uint64_t>(waited));
+  }
+}
+
+Task<> Kernel::TenantBalanceControllerMain() {
+  // The paper's fault/eviction balance controller, lifted to per-tenant
+  // scope: every period, compare each tenant's share of recent faults with
+  // its weight share. Under memory pressure a tenant faulting far beyond its
+  // share has its *effective* soft limit squeezed toward the
+  // weight-proportional fair share (making it the preferred eviction victim);
+  // once pressure clears, limits relax back toward the configured soft limit.
+  Engine& eng = Engine::current();
+  if (LockAnalyzer* la = LockAnalyzer::Active()) {
+    la->NameCurrentTask("tenant-balance-controller");
+  }
+  const int n = tenancy_->num_tenants();
+  std::vector<uint64_t> prev_faults(static_cast<size_t>(n), 0);
+  uint64_t total_w = 0;
+  for (int t = 0; t < n; ++t) total_w += tenancy_->cgroup(t).weight();
+  if (total_w == 0) total_w = 1;
+  while (!eng.shutdown_requested()) {
+    co_await Delay{kTenantControllerPeriodNs};
+    uint64_t total_delta = 0;
+    std::vector<uint64_t> delta(static_cast<size_t>(n), 0);
+    for (int t = 0; t < n; ++t) {
+      uint64_t f = tenancy_->cgroup(t).faults();
+      delta[static_cast<size_t>(t)] = f - prev_faults[static_cast<size_t>(t)];
+      prev_faults[static_cast<size_t>(t)] = f;
+      total_delta += delta[static_cast<size_t>(t)];
+    }
+    bool pressure = free_pages() < low_wm_ || tenancy_->EvictionPressure();
+    for (int t = 0; t < n; ++t) {
+      MemCgroup& cg = tenancy_->cgroup(t);
+      if (cg.soft_limit() == 0) continue;  // unlimited tenant: nothing to move
+      uint64_t fair = local_pages_ * cg.weight() / total_w;
+      uint64_t cur = cg.effective_soft_limit();
+      uint64_t target = cur;
+      // "Thrashing" = more than twice its weight share of this period's
+      // faults while the system is under pressure.
+      bool thrashing = pressure && total_delta > 0 &&
+                       delta[static_cast<size_t>(t)] * total_w >
+                           2 * total_delta * cg.weight();
+      if (thrashing && cur > fair) {
+        target = cur - std::max<uint64_t>((cur - fair) / 8, 1);
+        if (target < fair) target = fair;
+      } else if (!pressure && cur < cg.soft_limit()) {
+        target = cur + std::max<uint64_t>((cg.soft_limit() - cur) / 16, 1);
+      }
+      if (target != cur && cg.SetEffectiveSoftLimit(target)) {
+        TraceEmit(TraceEventType::kTenantSoftAdjust, t, kTraceNoPage, kTraceNoFrame,
+                  cg.effective_soft_limit());
+      }
+    }
+    MaybeWakeEvictors();
   }
 }
 
@@ -297,6 +433,7 @@ Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
     uint64_t vpn = f->vpn;
     co_await Delay{hw.pte_update_ns + config_.evict_page_cost_ns};
     pt_->Unmap(vpn);  // transfers the dirty bit onto the frame
+    UnchargePage(evictor_id, vpn, f);
     TraceEmit(TraceEventType::kPageUnmap, evictor_id, vpn, f->pfn);
     if (swap_ != nullptr) {
       // EP3: allocate remote swap space under the global swap lock.
@@ -433,6 +570,9 @@ void Kernel::Start(int num_app_cores) {
   }
   if (config_.feedback_evictors) {
     eng.Spawn(FeedbackControllerMain());
+  }
+  if (tenancy_ != nullptr && tenancy_->num_tenants() > 0) {
+    eng.Spawn(TenantBalanceControllerMain());
   }
   if (config_.lazy_tlb) {
     eng.Spawn(LazyTlbTickerMain());

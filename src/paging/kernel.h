@@ -24,6 +24,7 @@ namespace magesim {
 
 class Prefetcher;
 class ResilienceManager;
+class TenancyManager;
 struct WritebackTicket;
 
 struct KernelStats {
@@ -48,8 +49,11 @@ struct KernelStats {
 
 class Kernel {
  public:
+  // `tenancy` (optional, not owned) attaches the multi-tenant memory control
+  // groups: accounting becomes per-tenant, every Map/Unmap charges/uncharges
+  // the owning cgroup, and victim selection turns QoS-aware.
   Kernel(const KernelConfig& config, Topology& topo, TlbShootdownManager& tlb, RdmaNic& nic,
-         uint64_t local_pages, uint64_t wss_pages);
+         uint64_t local_pages, uint64_t wss_pages, TenancyManager* tenancy = nullptr);
   ~Kernel();
 
   Kernel(const Kernel&) = delete;
@@ -90,6 +94,9 @@ class Kernel {
   Task<> SequentialEvictorMain(int evictor_id, CoreId core);
   Task<> PipelinedEvictorMain(int evictor_id, CoreId core);
   Task<> FeedbackControllerMain();
+  // Per-tenant fault/eviction balance controller (tenancy only): squeezes the
+  // effective soft limit of tenants faulting far beyond their weighted share.
+  Task<> TenantBalanceControllerMain();
   // Periodic TLB reconciliation for lazy_tlb mode (scheduler-tick flushes).
   Task<> LazyTlbTickerMain();
 
@@ -114,6 +121,8 @@ class Kernel {
   // attached every remote op takes the legacy direct-NIC path unchanged.
   void SetResilience(ResilienceManager* r) { resilience_ = r; }
   ResilienceManager* resilience() { return resilience_; }
+  // Null unless the machine attached memory control groups.
+  TenancyManager* tenancy() { return tenancy_; }
   uint64_t FaultsOnCore(CoreId c) const { return faults_per_core_[static_cast<size_t>(c)]; }
 
   // Watermark thresholds in pages.
@@ -137,6 +146,19 @@ class Kernel {
   // Allocates one frame, applying the variant's pressure policy (sync
   // eviction vs. waiting for the EP). Attributes wait time to the breakdown.
   Task<PageFrame*> AllocWithPressure(CoreId core, uint64_t vpn);
+
+  // --- Tenancy hooks (all no-ops with no TenancyManager attached) ---
+  // Charge/uncharge accompany every Map/Unmap so the per-tenant charge set
+  // mirrors the present PTEs at every event boundary.
+  void ChargePage(int actor, uint64_t vpn, PageFrame* f);
+  void UnchargePage(int actor, uint64_t vpn, PageFrame* f);
+  // Hard-limit admission + batch-QoS backpressure, run by the fault path
+  // after fault dedup and before allocation.
+  Task<> TenantAdmission(CoreId core, uint64_t vpn);
+  // True while any tenant has blocked faulters or is inside its watermark
+  // band: keeps evictors running above the global high watermark.
+  bool TenancyEvictionPressure() const;
+  bool TenancyHardWaiters() const;
 
   // One inline (synchronous) eviction from the fault path.
   Task<> SyncEvict(CoreId core);
@@ -188,6 +210,7 @@ class Kernel {
   DirectMapping direct_map_;
   std::unique_ptr<Prefetcher> prefetcher_;
   ResilienceManager* resilience_ = nullptr;  // owned by FarMemoryMachine
+  TenancyManager* tenancy_ = nullptr;        // owned by FarMemoryMachine
 
   // Remote copy validity per vpn (clean reclaim optimization).
   std::vector<bool> remote_valid_;

@@ -32,7 +32,8 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
   for (;;) {
     // Pressure accounts for pages already in the eviction pipeline (they
     // will reach the allocator within two stages).
-    bool pressure = free_pages() + pending_reclaims_ < high_wm_;
+    bool pressure =
+        free_pages() + pending_reclaims_ < high_wm_ || TenancyEvictionPressure();
     if (!pressure && pipeline_empty()) {
       if (eng.shutdown_requested()) co_return;
       co_await evictor_wake_.Wait();
@@ -117,7 +118,7 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       prev = std::move(cur);
     } else if (pressure && pipeline_empty()) {
       if (eng.shutdown_requested()) co_return;
-      if (FaultersWaitingForPages()) {
+      if (FaultersWaitingForPages() || TenancyHardWaiters()) {
         // Nothing isolatable *right now* (reference bits still decaying) but
         // faulting threads are blocked on us: retry shortly instead of
         // parking — the blocked threads cannot generate another wakeup.

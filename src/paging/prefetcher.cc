@@ -5,6 +5,7 @@
 #include "src/paging/kernel.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
+#include "src/tenancy/memcg.h"
 #include "src/trace/trace.h"
 
 namespace magesim {
@@ -52,6 +53,18 @@ void Prefetcher::OnFault(CoreId core, uint64_t vpn) {
     kernel_.resilience()->NotePrefetchThrottle(core, vpn);
     return;
   }
+  // Tenancy QoS gate: latency tenants keep their read-ahead (that is the
+  // point of the class); batch tenants lose it first under memory pressure;
+  // any tenant over its limits stops speculating against its own quota.
+  if (TenancyManager* ten = kernel_.tenancy(); ten != nullptr && ten->num_tenants() > 0) {
+    int t = ten->TenantOf(vpn);
+    bool global_pressure = kernel_.free_pages() < kernel_.low_wm_pages();
+    if (!ten->AllowPrefetch(t, global_pressure)) {
+      TraceEmit(TraceEventType::kTenantThrottle, core, vpn, kTraceNoFrame,
+                static_cast<uint64_t>(t));
+      return;
+    }
+  }
   CoreHistory& h = history_[static_cast<size_t>(core)];
   bool is_expected = false;
   Stream& s = *MatchStream(h, vpn, &is_expected);
@@ -95,8 +108,15 @@ void Prefetcher::OnFault(CoreId core, uint64_t vpn) {
 Task<> Prefetcher::PrefetchRange(CoreId core, uint64_t start_vpn, int64_t stride, int count) {
   Kernel& k = kernel_;
   uint64_t vpn = start_vpn;
+  // Streams never read ahead across a tenant boundary: pages there would be
+  // charged to (and evicted from) a different cgroup's quota.
+  int owner = -1;
+  if (k.tenancy() != nullptr && start_vpn < k.wss_pages()) {
+    owner = k.tenancy()->TenantOf(start_vpn);
+  }
   for (int i = 0; i < count; ++i, vpn = static_cast<uint64_t>(static_cast<int64_t>(vpn) + stride)) {
     if (vpn >= k.wss_pages()) co_return;
+    if (owner >= 0 && k.tenancy()->TenantOf(vpn) != owner) co_return;
     Pte& pte = k.page_table().At(vpn);
     if (pte.present || !k.page_table().TryBeginFault(vpn)) continue;
     ++issued_;
@@ -125,6 +145,7 @@ Task<> Prefetcher::PrefetchRange(CoreId core, uint64_t start_vpn, int64_t stride
     }
     co_await Delay{k.topology().params().pte_update_ns};
     k.page_table().Map(vpn, frame);
+    k.ChargePage(core, vpn, frame);
     TraceEmit(TraceEventType::kPageMap, core, vpn, frame->pfn);
     // Speculative: not a real reference yet.
     k.page_table().At(vpn).accessed = false;

@@ -1,0 +1,120 @@
+#include "src/tenancy/memcg.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace magesim {
+
+TenancyManager::TenancyManager(const TenancyOptions& opts, uint64_t local_pages,
+                               uint64_t wss_pages, double low_wm_frac, double high_wm_frac)
+    : specs_(opts.tenants), local_pages_(local_pages) {
+  assert(!specs_.empty());
+  root_ = std::make_unique<MemCgroup>(-1, "root", nullptr);
+  // The root has no limit of its own: the global watermarks already police
+  // total residency. It exists for the hierarchical-sum invariant.
+  root_->Configure(0, 0, 1, QosClass::kNormal, 0, 0);
+
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const TenantSpec& s = specs_[i];
+    assert(s.resolved() && "tenant specs must be placement-resolved before the manager");
+    auto hard = static_cast<uint64_t>(static_cast<double>(local_pages) * s.hard_frac);
+    double soft_frac = s.soft_frac > 0 ? s.soft_frac : s.hard_frac * 0.9;
+    auto soft = static_cast<uint64_t>(static_cast<double>(local_pages) * soft_frac);
+    uint64_t low_wm = 0;
+    uint64_t high_wm = 0;
+    if (hard > 0) {
+      low_wm = std::max<uint64_t>(
+          static_cast<uint64_t>(static_cast<double>(hard) * low_wm_frac), 8);
+      high_wm = std::max<uint64_t>(
+          static_cast<uint64_t>(static_cast<double>(hard) * high_wm_frac), low_wm + 8);
+    }
+    auto cg = std::make_unique<MemCgroup>(static_cast<int>(i), s.name, root_.get());
+    cg->Configure(hard, soft, s.weight, s.qos, low_wm, high_wm);
+    leaves_.push_back(std::move(cg));
+    headroom_.push_back(std::make_unique<SimEvent>("tenant-headroom"));
+    hard_waiters_.push_back(0);
+  }
+  charged_.assign(wss_pages, -1);
+}
+
+int TenancyManager::TenantOf(uint64_t vpn) const {
+  // Specs hold contiguous ranges in ascending vpn_base order: binary search
+  // for the last base <= vpn.
+  int lo = 0;
+  int hi = num_tenants() - 1;
+  while (lo < hi) {
+    int mid = (lo + hi + 1) / 2;
+    if (specs_[static_cast<size_t>(mid)].vpn_base <= vpn) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+int TenancyManager::Charge(uint64_t vpn, PageFrame* f) {
+  int t = TenantOf(vpn);
+  if (charged_[vpn] >= 0) {
+    // A page charged twice without an uncharge in between: recorded for the
+    // checker; keep counters sane by not re-charging.
+    ++double_charges_;
+    return t;
+  }
+  charged_[vpn] = static_cast<int16_t>(t);
+  if (f != nullptr) f->tenant = static_cast<int16_t>(t);
+  leaves_[static_cast<size_t>(t)]->Charge(1);
+  return t;
+}
+
+int TenancyManager::Uncharge(uint64_t vpn, PageFrame* f) {
+  (void)f;  // the frame keeps its tenant stamp until recharged
+  int t = charged_[vpn];
+  if (t < 0) {
+    ++missing_uncharges_;
+    return TenantOf(vpn);
+  }
+  charged_[vpn] = -1;
+  MemCgroup& cg = *leaves_[static_cast<size_t>(t)];
+  cg.Uncharge(1);
+  // Release fault-path waiters once the tenant is back under its hard limit.
+  // DES atomicity makes Pulse safe here: a waiter's OverHard check and its
+  // Wait() run in one synchronous window, so no wakeup can slip between.
+  if (hard_waiters_[static_cast<size_t>(t)] > 0 && !cg.OverHard()) {
+    headroom_[static_cast<size_t>(t)]->Pulse();
+  }
+  return t;
+}
+
+bool TenancyManager::HasHardWaiters() const {
+  for (int n : hard_waiters_) {
+    if (n > 0) return true;
+  }
+  return false;
+}
+
+bool TenancyManager::EvictionPressure() const {
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    if (hard_waiters_[i] > 0) return true;
+    if (leaves_[i]->pressured()) return true;
+  }
+  return false;
+}
+
+bool TenancyManager::AllowPrefetch(int t, bool global_pressure) {
+  MemCgroup& cg = *leaves_[static_cast<size_t>(t)];
+  bool allow;
+  if (cg.OverHard()) {
+    allow = false;  // a speculative read would push the tenant further over
+  } else if (cg.qos() == QosClass::kLatency) {
+    allow = true;  // prefetcher priority: only the hard limit stops it
+  } else if (cg.qos() == QosClass::kBatch && global_pressure) {
+    allow = false;  // batch speculation yields first under pressure
+  } else {
+    allow = !cg.NeedsEviction();
+  }
+  if (!allow) cg.NotePrefetchDenied();
+  return allow;
+}
+
+}  // namespace magesim

@@ -1,0 +1,245 @@
+// Memory control groups: hierarchical per-tenant accounting of resident
+// pages, hard/soft local-memory limits, and per-tenant watermarks.
+//
+// Every page the kernel maps is charged to exactly one leaf cgroup (the
+// tenant owning its vpn range) and uncharged when it is unmapped; charges
+// propagate to the root, so at every event boundary
+//
+//   root.usage == sum(leaf.usage) == resident pages
+//
+// which InvariantChecker::CheckTenantCharges verifies. Charge/Uncharge run
+// synchronously (no co_await), so the bijection between present PTEs and
+// charges holds at every scheduling point, not just at quiescence.
+//
+// Limits:
+//  * hard  — the fault path blocks (TenantAdmission) while usage >= hard;
+//            evictors are woken to reclaim from this tenant. Overage is
+//            bounded by the faults already in flight when the limit was
+//            crossed (at most one allocation batch).
+//  * soft  — eviction eligibility: tenants over their *effective* soft limit
+//            are preferred victims. The balance controller moves the
+//            effective limit between the weight-proportional fair share and
+//            the configured soft limit, squeezing thrashing tenants first.
+//  * per-tenant watermarks — headroom below hard works like the global
+//    free-page watermarks: dropping under the low watermark marks the cgroup
+//    pressured (preferred victim + evictors kept awake) until headroom
+//    recovers past the high watermark.
+#ifndef MAGESIM_TENANCY_MEMCG_H_
+#define MAGESIM_TENANCY_MEMCG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mem/frame_pool.h"
+#include "src/sim/sync.h"
+#include "src/tenancy/tenant_spec.h"
+
+namespace magesim {
+
+class MemCgroup {
+ public:
+  MemCgroup(int id, std::string name, MemCgroup* parent)
+      : id_(id), name_(std::move(name)), parent_(parent) {}
+
+  MemCgroup(const MemCgroup&) = delete;
+  MemCgroup& operator=(const MemCgroup&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  MemCgroup* parent() const { return parent_; }
+
+  // Setup-time configuration (limits in pages; 0 = unlimited).
+  void Configure(uint64_t hard, uint64_t soft, uint32_t weight, QosClass qos,
+                 uint64_t low_wm, uint64_t high_wm) {
+    hard_ = hard;
+    soft_ = soft;
+    soft_eff_ = soft;
+    weight_ = weight;
+    qos_ = qos;
+    low_wm_ = low_wm;
+    high_wm_ = high_wm;
+  }
+
+  uint64_t usage() const { return usage_; }
+  uint64_t peak_usage() const { return peak_usage_; }
+  uint64_t hard_limit() const { return hard_; }
+  uint64_t soft_limit() const { return soft_; }
+  uint64_t effective_soft_limit() const { return soft_eff_; }
+  uint32_t weight() const { return weight_; }
+  QosClass qos() const { return qos_; }
+
+  // Charges `n` pages to this cgroup and every ancestor.
+  void Charge(uint64_t n) {
+    for (MemCgroup* c = this; c != nullptr; c = c->parent_) {
+      c->usage_ += n;
+      c->charges_ += n;
+      if (c->usage_ > c->peak_usage_) c->peak_usage_ = c->usage_;
+      if (c->hard_ > 0 && c->usage_ > c->hard_) {
+        uint64_t over = c->usage_ - c->hard_;
+        if (over > c->max_overage_) c->max_overage_ = over;
+      }
+      c->UpdatePressure();
+    }
+  }
+
+  void Uncharge(uint64_t n) {
+    for (MemCgroup* c = this; c != nullptr; c = c->parent_) {
+      c->usage_ -= n;
+      c->uncharges_ += n;
+      c->UpdatePressure();
+    }
+  }
+
+  // Fault-path admission: block while at or over the hard limit. Faults
+  // already past admission when the limit is crossed still complete, so the
+  // worst-case overage is one in-flight allocation batch.
+  bool OverHard() const { return hard_ > 0 && usage_ >= hard_; }
+
+  // Preferred-victim predicate: over the effective soft limit, or inside the
+  // per-tenant low-watermark band below the hard limit (with hysteresis up
+  // to the high-watermark band).
+  bool NeedsEviction() const {
+    return pressured_ || (soft_eff_ > 0 && usage_ > soft_eff_);
+  }
+  bool pressured() const { return pressured_; }
+
+  // Balance-controller hook: clamp and install a new effective soft limit.
+  // Returns true if it changed.
+  bool SetEffectiveSoftLimit(uint64_t pages) {
+    if (soft_ > 0 && pages > soft_) pages = soft_;
+    if (pages == soft_eff_) return false;
+    soft_eff_ = pages;
+    ++soft_adjusts_;
+    UpdatePressure();
+    return true;
+  }
+
+  // --- per-tenant statistics ---
+  uint64_t charges() const { return charges_; }
+  uint64_t uncharges() const { return uncharges_; }
+  uint64_t max_overage() const { return max_overage_; }
+  uint64_t soft_adjusts() const { return soft_adjusts_; }
+  uint64_t hard_limit_waits() const { return hard_limit_waits_; }
+  SimTime hard_wait_ns() const { return hard_wait_ns_; }
+  uint64_t evict_selected() const { return evict_selected_; }
+  uint64_t faults() const { return faults_; }
+  uint64_t prefetch_denied() const { return prefetch_denied_; }
+  uint64_t backpressure_waits() const { return backpressure_waits_; }
+
+  void NoteFault() { ++faults_; }
+  void NoteHardWait(SimTime waited) {
+    ++hard_limit_waits_;
+    hard_wait_ns_ += waited;
+  }
+  void NoteEvictSelected(uint64_t n) { evict_selected_ += n; }
+  void NotePrefetchDenied() { ++prefetch_denied_; }
+  void NoteBackpressure() { ++backpressure_waits_; }
+
+ private:
+  void UpdatePressure() {
+    if (hard_ == 0) {
+      pressured_ = false;
+      return;
+    }
+    uint64_t headroom = hard_ > usage_ ? hard_ - usage_ : 0;
+    if (headroom < low_wm_) {
+      pressured_ = true;
+    } else if (headroom >= high_wm_) {
+      pressured_ = false;
+    }
+  }
+
+  int id_;
+  std::string name_;
+  MemCgroup* parent_;
+
+  uint64_t hard_ = 0;
+  uint64_t soft_ = 0;
+  uint64_t soft_eff_ = 0;
+  uint32_t weight_ = 1;
+  QosClass qos_ = QosClass::kNormal;
+  uint64_t low_wm_ = 0;
+  uint64_t high_wm_ = 0;
+
+  uint64_t usage_ = 0;
+  uint64_t peak_usage_ = 0;
+  bool pressured_ = false;
+
+  uint64_t charges_ = 0;
+  uint64_t uncharges_ = 0;
+  uint64_t max_overage_ = 0;
+  uint64_t soft_adjusts_ = 0;
+  uint64_t hard_limit_waits_ = 0;
+  SimTime hard_wait_ns_ = 0;
+  uint64_t evict_selected_ = 0;
+  uint64_t faults_ = 0;
+  uint64_t prefetch_denied_ = 0;
+  uint64_t backpressure_waits_ = 0;
+};
+
+// Owns the cgroup hierarchy (one root, one leaf per tenant) and the
+// vpn -> tenant mapping. The kernel calls Charge/Uncharge at every
+// Map/Unmap; both are synchronous so checker invariants hold everywhere.
+class TenancyManager {
+ public:
+  // Limits are resolved against `local_pages`; per-tenant watermarks reuse
+  // the kernel's low/high watermark fractions, applied to each hard limit.
+  TenancyManager(const TenancyOptions& opts, uint64_t local_pages, uint64_t wss_pages,
+                 double low_wm_frac, double high_wm_frac);
+
+  int num_tenants() const { return static_cast<int>(leaves_.size()); }
+  MemCgroup& root() { return *root_; }
+  const MemCgroup& root() const { return *root_; }
+  MemCgroup& cgroup(int t) { return *leaves_[static_cast<size_t>(t)]; }
+  const MemCgroup& cgroup(int t) const { return *leaves_[static_cast<size_t>(t)]; }
+  const TenantSpec& spec(int t) const { return specs_[static_cast<size_t>(t)]; }
+  uint64_t local_pages() const { return local_pages_; }
+
+  // Owner of a vpn (specs carry contiguous, disjoint vpn ranges covering the
+  // whole working set).
+  int TenantOf(uint64_t vpn) const;
+
+  // Charges `vpn`'s page to its tenant; stamps f->tenant for list routing.
+  // Returns the tenant id. Counts (and tolerates) double charges so the
+  // checker can flag them instead of corrupting usage counters.
+  int Charge(uint64_t vpn, PageFrame* f);
+  int Uncharge(uint64_t vpn, PageFrame* f);
+
+  // Which tenant vpn is currently charged to (-1 = none); the checker's
+  // charge/present bijection source.
+  int charged_tenant(uint64_t vpn) const { return charged_[vpn]; }
+  uint64_t double_charges() const { return double_charges_; }
+  uint64_t missing_uncharges() const { return missing_uncharges_; }
+
+  // Fault-path hard-limit plumbing: waiters park on the tenant's headroom
+  // event; Uncharge pulses it once usage drops back under the hard limit.
+  SimEvent& headroom_event(int t) { return *headroom_[static_cast<size_t>(t)]; }
+  void NoteHardWaiter(int t, int delta) { hard_waiters_[static_cast<size_t>(t)] += delta; }
+  bool HasHardWaiters() const;
+
+  // Evictors must keep running (even above the global watermark) while any
+  // tenant has blocked faulters or is inside its own watermark band.
+  bool EvictionPressure() const;
+
+  // Prefetch QoS gate: latency tenants prefetch unless at their hard limit;
+  // batch tenants are denied under memory pressure; everyone is denied once
+  // over the effective soft limit.
+  bool AllowPrefetch(int t, bool global_pressure);
+
+ private:
+  std::vector<TenantSpec> specs_;
+  uint64_t local_pages_;
+  std::unique_ptr<MemCgroup> root_;
+  std::vector<std::unique_ptr<MemCgroup>> leaves_;
+  std::vector<std::unique_ptr<SimEvent>> headroom_;
+  std::vector<int> hard_waiters_;
+  std::vector<int16_t> charged_;  // per-vpn owner, -1 = uncharged
+  uint64_t double_charges_ = 0;
+  uint64_t missing_uncharges_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_TENANCY_MEMCG_H_

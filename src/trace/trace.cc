@@ -52,6 +52,12 @@ const char* TraceEventName(TraceEventType t) {
     case TraceEventType::kPrefetchThrottle: return "prefetch_throttle";
     case TraceEventType::kAnalysisLockOrderEdge: return "analysis.lock_order_edge";
     case TraceEventType::kAnalysisViolation: return "analysis.violation";
+    case TraceEventType::kTenantCharge: return "tenancy.charge";
+    case TraceEventType::kTenantUncharge: return "tenancy.uncharge";
+    case TraceEventType::kTenantHardWait: return "tenancy.hard_wait";
+    case TraceEventType::kTenantEvictSelect: return "tenancy.evict_select";
+    case TraceEventType::kTenantSoftAdjust: return "tenancy.soft_adjust";
+    case TraceEventType::kTenantThrottle: return "tenancy.throttle";
     case TraceEventType::kNumTypes: break;
   }
   return "unknown";

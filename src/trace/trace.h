@@ -70,6 +70,12 @@ enum class TraceEventType : uint8_t {
   kPrefetchThrottle, // actor=core, page (suppressed: read channel degraded)
   kAnalysisLockOrderEdge,  // actor=task id, page=from lock class, frame=to lock class
   kAnalysisViolation,      // actor=task id, arg=AnalysisViolationKind
+  kTenantCharge,      // actor=core/evictor, page, frame, arg=tenant id
+  kTenantUncharge,    // actor=core/evictor, page, frame, arg=tenant id
+  kTenantHardWait,    // actor=core, page, arg=waited ns (hard-limit admission)
+  kTenantEvictSelect, // actor=evictor id, arg=(tenant id << 32) | pages taken
+  kTenantSoftAdjust,  // actor=tenant id, arg=new effective soft limit (pages)
+  kTenantThrottle,    // actor=core, page, arg=tenant id (QoS denial/backoff)
   kNumTypes,
 };
 

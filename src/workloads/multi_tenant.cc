@@ -1,0 +1,52 @@
+#include "src/workloads/multi_tenant.h"
+
+#include "src/workloads/registry.h"
+
+namespace magesim {
+
+std::unique_ptr<MultiTenantWorkload> MultiTenantWorkload::Build(std::vector<TenantSpec>* specs,
+                                                               std::string* error) {
+  if (specs == nullptr || specs->empty()) {
+    if (error != nullptr) *error = "no tenants specified";
+    return nullptr;
+  }
+  std::unique_ptr<MultiTenantWorkload> w(new MultiTenantWorkload);
+  for (TenantSpec& s : *specs) {
+    WorkloadParams params;
+    // Modest per-tenant default so several tenants fit on one socket.
+    params.threads = s.threads > 0 ? s.threads : 4;
+    params.opts = s.workload_opts;
+    std::string err;
+    std::unique_ptr<Workload> inner = MakeWorkload(s.workload, params, &err);
+    if (inner == nullptr) {
+      if (error != nullptr) *error = "tenant '" + s.name + "': " + err;
+      return nullptr;
+    }
+    s.threads = inner->num_threads();
+    s.vpn_base = w->total_pages_;
+    s.vpn_pages = inner->wss_pages();
+    s.thread_begin = w->total_threads_;
+    s.thread_end = w->total_threads_ + s.threads;
+    if (s.vpn_pages == 0) {
+      if (error != nullptr) *error = "tenant '" + s.name + "': workload has an empty working set";
+      return nullptr;
+    }
+    w->total_pages_ += s.vpn_pages;
+    w->total_threads_ = s.thread_end;
+    w->inner_.push_back(std::move(inner));
+  }
+  w->specs_ = *specs;
+  return w;
+}
+
+Task<> MultiTenantWorkload::ThreadBody(AppThread& t, int tid) {
+  for (size_t k = 0; k < specs_.size(); ++k) {
+    const TenantSpec& s = specs_[k];
+    if (tid < s.thread_begin || tid >= s.thread_end) continue;
+    t.set_vpn_base(s.vpn_base);
+    co_await inner_[k]->ThreadBody(t, tid - s.thread_begin);
+    co_return;
+  }
+}
+
+}  // namespace magesim

@@ -1,0 +1,52 @@
+// Composite workload running one registry workload per tenant, each in its
+// own disjoint vpn window and on its own disjoint set of cores.
+//
+// Placement is deterministic: tenants keep their spec order; tenant k owns
+// vpns [sum(wss of 0..k-1), +wss_k) and global thread ids (== cores)
+// [sum(threads of 0..k-1), +threads_k). The vpn windows are what the
+// TenancyManager's vpn -> tenant mapping and the per-cgroup charge
+// accounting key off.
+#ifndef MAGESIM_WORKLOADS_MULTI_TENANT_H_
+#define MAGESIM_WORKLOADS_MULTI_TENANT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tenancy/tenant_spec.h"
+#include "src/workloads/workload.h"
+
+namespace magesim {
+
+class MultiTenantWorkload : public Workload {
+ public:
+  // Builds every tenant's inner workload from the registry and fills in the
+  // specs' resolved placement fields (vpn_base/vpn_pages/thread range) in
+  // place. Returns nullptr with *error set on an unknown workload name, bad
+  // options, or zero tenants.
+  static std::unique_ptr<MultiTenantWorkload> Build(std::vector<TenantSpec>* specs,
+                                                    std::string* error);
+
+  std::string name() const override { return "multi-tenant"; }
+  uint64_t wss_pages() const override { return total_pages_; }
+  int num_threads() const override { return total_threads_; }
+  std::string ops_unit() const override { return "ops"; }
+
+  Task<> ThreadBody(AppThread& t, int tid) override;
+
+  int num_tenants() const { return static_cast<int>(inner_.size()); }
+  Workload& tenant_workload(int t) { return *inner_[static_cast<size_t>(t)]; }
+  const TenantSpec& spec(int t) const { return specs_[static_cast<size_t>(t)]; }
+
+ private:
+  MultiTenantWorkload() = default;
+
+  std::vector<TenantSpec> specs_;  // resolved copies
+  std::vector<std::unique_ptr<Workload>> inner_;
+  uint64_t total_pages_ = 0;
+  int total_threads_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_WORKLOADS_MULTI_TENANT_H_

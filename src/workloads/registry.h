@@ -1,0 +1,43 @@
+// By-name workload factory.
+//
+// One registry backs every front-end that names workloads as strings: the
+// CLI (`--workload=`, `--list-workloads`), tenant specs
+// (`--tenant lat:4:0.4:latency=seqscan/2,pages=4096`), and tests. Factories
+// take a thread count plus free-form key=value overrides; unknown names,
+// unknown keys, and unparsable values all fail with a descriptive error
+// instead of silently running the wrong experiment.
+#ifndef MAGESIM_WORKLOADS_REGISTRY_H_
+#define MAGESIM_WORKLOADS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace magesim {
+
+struct WorkloadParams {
+  int threads = 24;
+  // Workload-specific overrides; see ListWorkloads() for each entry's keys.
+  std::map<std::string, std::string> opts;
+};
+
+// Creates a workload by registry name. Returns nullptr and fills *error on
+// an unknown name, an unknown option key, or an unparsable option value.
+std::unique_ptr<Workload> MakeWorkload(const std::string& name, const WorkloadParams& params,
+                                       std::string* error);
+
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+  std::string options;  // "key=default ..." help string
+};
+
+// Registered workloads, sorted by name.
+const std::vector<WorkloadInfo>& ListWorkloads();
+
+}  // namespace magesim
+
+#endif  // MAGESIM_WORKLOADS_REGISTRY_H_

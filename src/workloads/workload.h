@@ -70,11 +70,17 @@ class AppThread {
   };
 
   AccessAwaiter Access(uint64_t addr, bool write) {
-    return AccessAwaiter{*this, addr >> kPageShift, write, {}};
+    return AccessAwaiter{*this, (addr >> kPageShift) + vpn_base_, write, {}};
   }
   AccessAwaiter AccessPage(uint64_t vpn, bool write) {
-    return AccessAwaiter{*this, vpn, write, {}};
+    return AccessAwaiter{*this, vpn + vpn_base_, write, {}};
   }
+
+  // Shifts every access by a fixed page offset: multi-tenant composition
+  // places each tenant's workload in its own disjoint vpn window while the
+  // inner workload keeps addressing [0, wss_pages).
+  void set_vpn_base(uint64_t base) { vpn_base_ = base; }
+  uint64_t vpn_base() const { return vpn_base_; }
 
   // Flushes accumulated compute time to the engine (used at loop boundaries
   // and before reading wall-clock-like state).
@@ -118,6 +124,7 @@ class AppThread {
   double compute_factor_;
   double pending_acc_ = 0;
   SimTime stolen_seen_ = 0;
+  uint64_t vpn_base_ = 0;
 };
 
 // A multi-threaded application.

@@ -1,0 +1,97 @@
+// Property test: three tenants with randomized (zipf) access patterns racing
+// fault-in, eviction, and a mid-run memory-node crash/recover window, over
+// several seeds. After every run:
+//   * charge/uncharge is a bijection with residency (per-vpn owner check,
+//     per-cgroup usage sums, zero double charges / missing uncharges),
+//   * periodic + quiescent invariant checks (including CheckTenantCharges)
+//     report nothing,
+//   * no tenant ever exceeded its hard limit by more than one in-flight
+//     allocation batch.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/farmem.h"
+#include "src/mem/page_table.h"
+#include "src/tenancy/memcg.h"
+#include "src/tenancy/tenant_spec.h"
+#include "src/workloads/seqscan.h"
+
+namespace magesim {
+namespace {
+
+constexpr char kThreeTenants[] =
+    "alpha:2:0.3:latency=zipf-trace/2,wss=2048,accesses=4000,theta=0.9;"
+    "beta:1:0.3:normal=zipf-trace/2,wss=2048,accesses=4000,theta=0.99;"
+    "gamma:1:0.5:batch=zipf-trace/2,wss=4096,accesses=4000,theta=0.8";
+
+void RunOnce(uint64_t seed, bool crash) {
+  FarMemoryMachine::Options opt;
+  opt.kernel = MageLibConfig();
+  opt.local_mem_ratio = 0.5;
+  opt.seed = seed;
+  opt.check_interval = 200 * kMicrosecond;
+  opt.check_final = true;
+  if (crash) opt.fault_plan = "crash@1ms-2ms";
+  std::string err;
+  ASSERT_TRUE(ParseTenancyList(kThreeTenants, &opt.tenancy, &err)) << err;
+
+  SeqScanWorkload placeholder(
+      SeqScanWorkload::Options{.region_pages = 64, .threads = 1, .passes = 1});
+  FarMemoryMachine m(opt, placeholder);
+  RunResult r = m.Run();
+
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " crash=" + std::to_string(crash));
+  ASSERT_NE(m.checker(), nullptr);
+  EXPECT_GT(r.invariant_checks, 1u);  // periodic checks actually ran
+  EXPECT_EQ(r.invariant_violations, 0u) << m.checker()->Report();
+  EXPECT_FALSE(r.aborted) << r.abort_reason;
+
+  // Direct end-of-run bijection audit, independent of the checker.
+  TenancyManager* ten = m.tenancy();
+  ASSERT_NE(ten, nullptr);
+  EXPECT_EQ(ten->double_charges(), 0u);
+  EXPECT_EQ(ten->missing_uncharges(), 0u);
+
+  PageTable& pt = m.kernel().page_table();
+  std::vector<uint64_t> resident(3, 0);
+  uint64_t total = 0;
+  for (uint64_t vpn = 0; vpn < pt.num_pages(); ++vpn) {
+    bool present = pt.At(vpn).present;
+    int charged = ten->charged_tenant(vpn);
+    EXPECT_EQ(present, charged >= 0) << "vpn " << vpn;
+    if (present) {
+      EXPECT_EQ(charged, ten->TenantOf(vpn)) << "vpn " << vpn;
+      ++resident[static_cast<size_t>(charged)];
+      ++total;
+    }
+  }
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(ten->cgroup(t).usage(), resident[static_cast<size_t>(t)]) << "tenant " << t;
+    // Charges and uncharges reconcile with what stayed resident.
+    EXPECT_EQ(ten->cgroup(t).charges() - ten->cgroup(t).uncharges(),
+              resident[static_cast<size_t>(t)])
+        << "tenant " << t;
+  }
+  EXPECT_EQ(ten->root().usage(), total);
+
+  // Hard-limit overage is bounded by one in-flight allocation batch (at most
+  // one outstanding fault per core plus a prefetch batch).
+  ASSERT_EQ(r.tenants.size(), 3u);
+  for (const TenantRunResult& t : r.tenants) {
+    if (t.hard_limit_pages == 0) continue;
+    EXPECT_LE(t.max_overage_pages, 64u) << "tenant " << t.name;
+    EXPECT_GT(t.ops, 0u) << "tenant " << t.name;
+  }
+}
+
+TEST(TenancyPropertyTest, RandomInterleavingsKeepChargesInSync) {
+  for (uint64_t seed : {1u, 17u, 4242u}) RunOnce(seed, /*crash=*/false);
+}
+
+TEST(TenancyPropertyTest, CrashRecoverWindowsKeepChargesInSync) {
+  for (uint64_t seed : {3u, 99u}) RunOnce(seed, /*crash=*/true);
+}
+
+}  // namespace
+}  // namespace magesim
