@@ -35,6 +35,39 @@ inline uint64_t Scaled(uint64_t base) {
   return static_cast<uint64_t>(static_cast<double>(base) * BenchScale());
 }
 
+// Warmup/measure repetition counts for the perf harnesses (bench/perf_*).
+// MAGESIM_BENCH_REPS overrides the harness defaults so CI can run short
+// smokes while local runs stay statistically meaningful:
+//   MAGESIM_BENCH_REPS=M     -> warmup = max(1, M/4), measure = M
+//   MAGESIM_BENCH_REPS=W:M   -> warmup = W, measure = M
+// The chosen counts (and whether they came from the env) are recorded in
+// every BENCH_*.json so a baseline and a smoke run are never silently
+// compared at different statistical weight.
+struct BenchReps {
+  int warmup = 1;
+  int measure = 3;
+  bool from_env = false;
+};
+
+inline BenchReps BenchRepsFromEnv(int default_warmup, int default_measure) {
+  BenchReps r{default_warmup, default_measure, false};
+  const char* s = std::getenv("MAGESIM_BENCH_REPS");
+  if (s == nullptr || *s == '\0') return r;
+  int w = -1, m = -1;
+  if (std::sscanf(s, "%d:%d", &w, &m) == 2) {
+    if (w >= 0 && m > 0) {
+      r.warmup = w;
+      r.measure = m;
+      r.from_env = true;
+    }
+  } else if (std::sscanf(s, "%d", &m) == 1 && m > 0) {
+    r.warmup = m / 4 > 0 ? m / 4 : 1;
+    r.measure = m;
+    r.from_env = true;
+  }
+  return r;
+}
+
 // Offloading sweep used by most application figures (percent far memory).
 inline std::vector<int> OffloadSweep() { return {0, 10, 20, 30, 40, 50, 60, 70, 80, 90}; }
 

@@ -1,0 +1,87 @@
+// perf_engine_events: raw DES engine throughput (events/sec, ns/event).
+//
+// A pure scheduler microbench with no paging machinery: a mix of delays,
+// yields, child-task calls (coroutine frame churn), mutex handoffs and event
+// waits — the primitives every simulated subsystem is built from. The event
+// count per rep is deterministic; wall time per event is the tracked metric.
+#include <cstdint>
+#include <vector>
+
+#include "bench/perf_common.h"
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace magesim {
+namespace {
+
+struct Shared {
+  SimMutex lock{"perf"};
+  SimEvent tick{"perf-tick"};
+  uint64_t counter = 0;
+};
+
+// A leaf child task: one frame allocation + one delay event per call.
+Task<> Leaf(Shared& s, SimTime d) {
+  co_await Delay{d};
+  ++s.counter;
+}
+
+Task<> Worker(Shared& s, int id, uint64_t iters) {
+  for (uint64_t i = 0; i < iters; ++i) {
+    // Frame churn: a fresh child coroutine per iteration.
+    co_await Leaf(s, static_cast<SimTime>((i + static_cast<uint64_t>(id)) % 7));
+    // Contended FIFO mutex: exercises the waiter queue on every handoff.
+    {
+      auto g = co_await s.lock.Scoped();
+      co_await Delay{3};
+    }
+    if ((i & 63) == 0) {
+      s.tick.Pulse();
+      co_await YieldNow{};
+    }
+  }
+}
+
+uint64_t RunOnce(int tasks, uint64_t iters) {
+  Engine e;
+  Shared s;
+  for (int t = 0; t < tasks; ++t) {
+    e.Spawn(Worker(s, t, iters));
+  }
+  e.Run();
+  return e.events_processed();
+}
+
+}  // namespace
+}  // namespace magesim
+
+int main() {
+  using namespace magesim;
+  BenchReps reps = BenchRepsFromEnv(/*default_warmup=*/1, /*default_measure=*/5);
+  const int kTasks = 64;
+  const uint64_t kIters = Scaled(30000);
+
+  uint64_t events = 0;
+  for (int i = 0; i < reps.warmup; ++i) events = RunOnce(kTasks, kIters);
+  std::vector<uint64_t> rep_ns;
+  for (int i = 0; i < reps.measure; ++i) {
+    uint64_t t0 = WallNowNs();
+    uint64_t got = RunOnce(kTasks, kIters);
+    rep_ns.push_back(WallNowNs() - t0);
+    if (events != 0 && got != events) {
+      std::fprintf(stderr, "perf_engine_events: nondeterministic event count (%llu vs %llu)\n",
+                   static_cast<unsigned long long>(got), static_cast<unsigned long long>(events));
+      return 1;
+    }
+    events = got;
+  }
+
+  PerfReport r("engine_events", reps);
+  r.Sim("tasks", static_cast<uint64_t>(kTasks));
+  r.Sim("iters_per_task", kIters);
+  r.Sim("events_per_rep", events);
+  r.WallTimes(rep_ns, events, "events");
+  r.Write();
+  return 0;
+}

@@ -65,6 +65,24 @@ class FrameList {
     --size_;
   }
 
+  // O(1) transfer of every node in `other` to this list's tail, preserving
+  // order. `other` is left empty. Frames keep their lru_list stamp; callers
+  // that splice across accounting partitions must restamp themselves.
+  void SpliceBack(FrameList& other) {
+    if (other.head_ == nullptr) return;
+    if (tail_ != nullptr) {
+      tail_->next = other.head_;
+      other.head_->prev = tail_;
+    } else {
+      head_ = other.head_;
+    }
+    tail_ = other.tail_;
+    size_ += other.size_;
+    other.head_ = nullptr;
+    other.tail_ = nullptr;
+    other.size_ = 0;
+  }
+
   PageFrame* front() const { return head_; }
   PageFrame* back() const { return tail_; }
   size_t size() const { return size_; }

@@ -16,7 +16,7 @@ constexpr uint8_t kMaxFreq = 3;
 S3Fifo::S3Fifo(PageTable& pt, Costs costs) : pt_(pt), costs_(costs) {}
 
 void S3Fifo::GhostInsert(uint64_t vpn) {
-  if (ghost_set_.insert(vpn).second) {
+  if (ghost_set_.insert(vpn)) {
     ghost_fifo_.push_back(vpn);
   }
   // Ghost capacity tracks the main queue size (S3-FIFO sizes it to Main).

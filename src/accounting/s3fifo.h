@@ -15,11 +15,10 @@
 #ifndef MAGESIM_ACCOUNTING_S3FIFO_H_
 #define MAGESIM_ACCOUNTING_S3FIFO_H_
 
-#include <deque>
-#include <unordered_set>
-
 #include "src/accounting/accounting.h"
 #include "src/accounting/intrusive_list.h"
+#include "src/accounting/vpn_set.h"
+#include "src/sim/ring_queue.h"
 
 namespace magesim {
 
@@ -59,8 +58,10 @@ class S3Fifo : public PageAccounting {
   Costs costs_;
   FrameList small_;  // lru_list id 0
   FrameList main_;   // lru_list id 1
-  std::deque<uint64_t> ghost_fifo_;
-  std::unordered_set<uint64_t> ghost_set_;
+  // Ghost metadata: allocation-free ring + open-addressing set (the
+  // unordered_set/deque pair they replace allocated a node per evicted vpn).
+  RingQueue<uint64_t> ghost_fifo_;
+  VpnSet ghost_set_;
   size_t ghost_capacity_ = 0;  // tracks main_ capacity dynamically
   uint64_t ghost_hits_ = 0;
   SimMutex lock_{"s3fifo"};

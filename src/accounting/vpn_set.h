@@ -1,0 +1,103 @@
+// Open-addressing membership set for page numbers (ghost-list metadata).
+//
+// Replaces std::unordered_set<uint64_t> on the accounting hot path: the node
+// allocation per insert and the bucket-array pointer chase both go away.
+// Linear probing with backward-shift deletion; the only allocation is the
+// doubling rehash. Membership semantics are exactly those of the set it
+// replaces (iteration order is never observed), so policy behavior — and the
+// golden traces — are unchanged.
+#ifndef MAGESIM_ACCOUNTING_VPN_SET_H_
+#define MAGESIM_ACCOUNTING_VPN_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace magesim {
+
+class VpnSet {
+ public:
+  // Returns true if `key` was newly inserted (std::unordered_set::insert
+  // pair::second analogue). Any uint64_t key is valid, including ~0.
+  bool insert(uint64_t key) {
+    if ((count_ + 1) * 10 >= Capacity() * 7) Grow();
+    size_t i = Probe(key);
+    if (used_[i]) return false;
+    used_[i] = 1;
+    slot_[i] = key;
+    ++count_;
+    return true;
+  }
+
+  // Returns 1 if the key was present and removed, 0 otherwise
+  // (std::unordered_set::erase count analogue).
+  size_t erase(uint64_t key) {
+    if (count_ == 0) return 0;
+    size_t i = Probe(key);
+    if (!used_[i]) return 0;
+    // Backward-shift deletion: close the hole so probe chains stay intact.
+    size_t hole = i;
+    size_t mask = Capacity() - 1;
+    size_t j = (hole + 1) & mask;
+    while (used_[j]) {
+      size_t home = Hash(slot_[j]) & mask;
+      // slot_[j] may move into the hole only if the hole lies within its
+      // probe path (cyclic distance check).
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        slot_[hole] = slot_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask;
+    }
+    used_[hole] = 0;
+    --count_;
+    return 1;
+  }
+
+  bool contains(uint64_t key) const {
+    if (count_ == 0) return false;
+    return used_[Probe(key)];
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  static uint64_t Hash(uint64_t x) {
+    // splitmix64 finalizer: cheap and well-distributed for page numbers.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  size_t Capacity() const { return slot_.size(); }
+
+  // Index of `key` if present, else the empty slot where it would insert.
+  size_t Probe(uint64_t key) const {
+    size_t mask = Capacity() - 1;
+    size_t i = Hash(key) & mask;
+    while (used_[i] && slot_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Grow() {
+    size_t cap = Capacity() == 0 ? 128 : Capacity() * 2;
+    std::vector<uint64_t> old_slot = std::move(slot_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slot_.assign(cap, 0);
+    used_.assign(cap, 0);
+    count_ = 0;
+    for (size_t i = 0; i < old_slot.size(); ++i) {
+      if (old_used[i]) insert(old_slot[i]);
+    }
+  }
+
+  std::vector<uint64_t> slot_;
+  std::vector<uint8_t> used_;
+  size_t count_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_ACCOUNTING_VPN_SET_H_

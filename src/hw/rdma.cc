@@ -1,6 +1,10 @@
 #include "src/hw/rdma.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "src/sim/prof_counters.h"
+#include "src/sim/slab_alloc.h"
 
 namespace magesim {
 
@@ -52,6 +56,7 @@ void RdmaNic::InjectBrownout(SimTime from, SimTime until, double bandwidth_facto
 
 std::shared_ptr<RdmaCompletion> RdmaNic::Post(Channel& ch, uint64_t bytes, Histogram& lat,
                                               Histogram* queueing, bool is_write) {
+  MAGESIM_PROF_SCOPE(rdma_post);
   Engine& eng = Engine::current();
   SimTime now = eng.now();
   double rate = params_.nic_gbps;
@@ -73,7 +78,9 @@ std::shared_ptr<RdmaCompletion> RdmaNic::Post(Channel& ch, uint64_t bytes, Histo
   ch.next_free = start + wire;
   ch.busy_ns += wire;
   SimTime completes = start + wire + params_.rdma_base_ns + extra;
-  auto c = std::make_shared<RdmaCompletion>(completes);
+  // allocate_shared + slab: completion object and control block live in one
+  // recyclable block (one completion per RDMA op adds up to millions).
+  auto c = std::allocate_shared<RdmaCompletion>(SlabStdAllocator<RdmaCompletion>{}, completes);
   if (fate.drop) {
     // The op still consumed channel time (the payload may even have reached
     // the far side) but its completion is lost: the event never fires and no

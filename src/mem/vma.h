@@ -30,6 +30,15 @@ class VmaResolver {
  public:
   virtual ~VmaResolver() = default;
   virtual Task<const Vma*> Find(uint64_t vpn) = 0;
+  // Synchronous fast path: returns true and writes *out when the resolver
+  // can answer with no simulated cost (no locks, no delays) — the caller
+  // then skips the Find() coroutine entirely. Resolvers that model
+  // synchronization must return false so the fault path pays for it.
+  virtual bool TryFind(uint64_t vpn, const Vma** out) {
+    (void)vpn;
+    (void)out;
+    return false;
+  }
   virtual const LockStats* lock_stats() const { return nullptr; }
 };
 
@@ -72,6 +81,10 @@ class NoVma : public VmaResolver {
  public:
   explicit NoVma(uint64_t total_vpns) : vma_{0, total_vpns, 0} {}
   Task<const Vma*> Find(uint64_t vpn) override;
+  bool TryFind(uint64_t vpn, const Vma** out) override {
+    *out = (vpn < vma_.end_vpn ? &vma_ : nullptr);
+    return true;
+  }
 
  private:
   Vma vma_;

@@ -72,7 +72,8 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     co_await Delay{config_.fault_entry_ns + hw.page_table_walk_ns};
 
     // --- VMA resolution (variant-dependent locking) ---
-    const Vma* v = co_await vma_->Find(vpn);
+    const Vma* v = nullptr;
+    if (!vma_->TryFind(vpn, &v)) v = co_await vma_->Find(vpn);
     assert(v != nullptr);
     (void)v;  // only consulted by the assert in NDEBUG builds
   }

@@ -12,6 +12,7 @@
 #include "src/paging/prefetcher.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
+#include "src/sim/prof_counters.h"
 #include "src/tenancy/memcg.h"
 #include "src/tenancy/tenant_accounting.h"
 #include "src/trace/trace.h"
@@ -186,6 +187,7 @@ void Kernel::Prepopulate(uint64_t resident_pages) {
 }
 
 bool Kernel::TryFastAccess(uint64_t vpn, bool write) {
+  MAGESIM_PROF_SCOPE(fast_access);
   Pte& pte = pt_->At(vpn);
   if (!pte.present) return false;
   pte.accessed = true;
@@ -202,6 +204,7 @@ bool Kernel::TryFastAccess(uint64_t vpn, bool write) {
 }
 
 void Kernel::InstantReclaim(uint64_t vpn) {
+  MAGESIM_PROF_SCOPE(instant_reclaim);
   // Deliberate modeling shortcut (pre-evicted pages, zero simulated cost):
   // bypasses the isolation protocol and the buddy lock on purpose.
   AnalysisExemptScope exempt;
@@ -233,6 +236,7 @@ void Kernel::IdealReclaimOne() {
 }
 
 void Kernel::MaybeWakeEvictors() {
+  MAGESIM_PROF_SCOPE(maybe_wake_evictors);
   if (free_pages() < low_wm_ || TenancyEvictionPressure()) {
     evictor_wake_.Pulse();
   }

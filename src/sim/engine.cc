@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/sim/prof_counters.h"
+
 namespace magesim {
 
 Engine* Engine::current_ = nullptr;
@@ -14,22 +16,12 @@ Engine::Engine() {
     std::abort();
   }
   current_ = this;
+  // Steady-state push/pop must not allocate; 4K events outgrows every
+  // workload's standing event population by a wide margin.
+  queue_.reserve(4096);
 }
 
 Engine::~Engine() { current_ = nullptr; }
-
-Engine& Engine::current() {
-  assert(current_ != nullptr && "no Engine is active");
-  return *current_;
-}
-
-void Engine::ScheduleAt(SimTime t, std::coroutine_handle<> h, TaskId task) {
-  assert(h);
-  if (t < now_) {
-    t = now_;  // Never schedule into the past.
-  }
-  queue_.push(Event{t, seq_++, h, task});
-}
 
 TaskId Engine::Spawn(Task<> task) {
   TaskId id = ++last_task_id_;
@@ -39,14 +31,36 @@ TaskId Engine::Spawn(Task<> task) {
 
 uint64_t Engine::Run() {
   uint64_t processed = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+  const EventBefore before{};
+  for (;;) {
+    Event ev;
+    // ready_ is (t, seq)-sorted by construction and its front always carries
+    // t == now_ while non-empty, so comparing the two fronts yields the
+    // global minimum — identical extraction order to a single heap.
+    if (!ready_.empty()) {
+      if (!queue_.empty() && before(queue_.top(), ready_.front())) {
+        MAGESIM_PROF_SCOPE(run_heap_pop);
+        ev = queue_.top();
+        queue_.pop();
+      } else {
+        ev = ready_.front();
+        ready_.pop_front();
+      }
+    } else if (!queue_.empty()) {
+      MAGESIM_PROF_SCOPE(run_heap_pop);
+      ev = queue_.top();
+      queue_.pop();
+    } else {
+      break;
+    }
     assert(ev.t >= now_);
     now_ = ev.t;
     current_task_ = ev.task;
     ++processed;
-    ev.h.resume();
+    {
+      MAGESIM_PROF_SCOPE(run_resume);
+      ev.h.resume();
+    }
   }
   current_task_ = kNoTask;
   events_processed_ += processed;

@@ -15,12 +15,14 @@
 #ifndef MAGESIM_SIM_ENGINE_H_
 #define MAGESIM_SIM_ENGINE_H_
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <queue>
-#include <vector>
 
 #include "src/sim/analysis_hooks.h"
+#include "src/sim/event_heap.h"
+#include "src/sim/prof_counters.h"
+#include "src/sim/ring_queue.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -35,15 +37,30 @@ class Engine {
 
   // The engine currently driving this thread's simulation. Exactly one Engine
   // may exist at a time; sync primitives use this to avoid threading an engine
-  // reference through every call site.
-  static Engine& current();
+  // reference through every call site. Inline: this is called on every
+  // suspension point, so it must compile to a single load.
+  static Engine& current() {
+    assert(current_ != nullptr && "no Engine is active");
+    return *current_;
+  }
 
   SimTime now() const { return now_; }
 
   // Schedules `h` at time `t`, attributed to the currently running task (or
   // to `task` in the explicit overload — used when waking another task).
+  // Scheduling into the past clamps to now. Immediate events (t <= now) skip
+  // the heap entirely — see the ready_ comment below.
   void ScheduleAt(SimTime t, std::coroutine_handle<> h) { ScheduleAt(t, h, current_task_); }
-  void ScheduleAt(SimTime t, std::coroutine_handle<> h, TaskId task);
+  void ScheduleAt(SimTime t, std::coroutine_handle<> h, TaskId task) {
+    assert(h);
+    if (t <= now_) {
+      MAGESIM_PROF_SCOPE(sched_ring_push);
+      ready_.push_back(Event{now_, seq_++, h, task});
+    } else {
+      MAGESIM_PROF_SCOPE(sched_heap_push);
+      queue_.push(Event{t, seq_++, h, task});
+    }
+  }
   void ScheduleAfter(SimTime dt, std::coroutine_handle<> h) {
     ScheduleAt(now_ + dt, h, current_task_);
   }
@@ -85,13 +102,26 @@ class Engine {
     uint64_t seq;
     std::coroutine_handle<> h;
     TaskId task;
-    bool operator>(const Event& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
+  };
+  // (t, seq) is unique per event, so extraction order — and therefore the
+  // simulation — is deterministic regardless of heap layout.
+  struct EventBefore {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Events land in one of two structures:
+  //  * ready_: events scheduled at the current time (lock handoffs, wakeups,
+  //    yields, spawns — the majority in fault-heavy runs). Each entry's t is
+  //    the now_ at push time and seq is globally increasing, so the ring is
+  //    (t, seq)-sorted by construction and push/pop are O(1).
+  //  * queue_: future events (delays, timers), a 4-ary min-heap.
+  // The dispatch loop pops whichever front is (t, seq)-smaller, which is the
+  // global minimum — extraction order is bit-identical to a single heap.
+  RingQueue<Event> ready_;
+  DAryHeap<Event, EventBefore> queue_;
   SimTime now_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_processed_ = 0;

@@ -1,0 +1,42 @@
+#include "src/sim/prof_counters.h"
+
+#ifdef MAGESIM_PROF
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace magesim {
+namespace prof {
+namespace {
+
+Counter* g_head = nullptr;
+
+}  // namespace
+
+Counter::Counter(const char* n) : name(n) {
+  if (g_head == nullptr) std::atexit(Report);
+  next = g_head;
+  g_head = this;
+}
+
+void Report() {
+  uint64_t total = 0;
+  for (Counter* c = g_head; c != nullptr; c = c->next) total += c->cycles;
+  if (total == 0) return;
+  std::fprintf(stderr, "\n== MAGESIM_PROF counters (nested scopes overlap) ==\n");
+  std::fprintf(stderr, "%-24s %14s %16s %10s %7s\n", "scope", "calls", "cycles",
+               "cyc/call", "share");
+  for (Counter* c = g_head; c != nullptr; c = c->next) {
+    if (c->calls == 0) continue;
+    std::fprintf(stderr, "%-24s %14llu %16llu %10.1f %6.1f%%\n", c->name,
+                 static_cast<unsigned long long>(c->calls),
+                 static_cast<unsigned long long>(c->cycles),
+                 static_cast<double>(c->cycles) / static_cast<double>(c->calls),
+                 100.0 * static_cast<double>(c->cycles) / static_cast<double>(total));
+  }
+}
+
+}  // namespace prof
+}  // namespace magesim
+
+#endif  // MAGESIM_PROF

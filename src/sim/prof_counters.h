@@ -1,0 +1,77 @@
+// Zero-default-cost cycle attribution for the simulator's hot path.
+//
+// Sampling profilers mis-attribute coroutine-heavy code (mcount arcs and
+// gprof call counts are corrupted by frame resumption; see
+// docs/INTERNALS.md "Profiling the event loop"), so hot-path attribution is
+// done with explicit rdtsc scopes instead. Compile with -DMAGESIM_PROF to
+// activate; without it every macro expands to nothing and the simulator is
+// byte-for-byte unaffected.
+//
+//   void Engine::Run() {
+//     ...
+//     { MAGESIM_PROF_SCOPE(resume); ev.h.resume(); }
+//   }
+//
+// A table (calls, total cycles, cycles/call, share) is printed to stderr at
+// process exit. Scopes nest freely — inner scopes are also counted inside
+// their enclosing scope, so the table is attribution, not a partition.
+//
+// Only place scopes in PLAIN functions: a scope inside a coroutine would
+// live across suspension points and absorb every other activity that runs
+// while the coroutine is parked.
+#ifndef MAGESIM_SIM_PROF_COUNTERS_H_
+#define MAGESIM_SIM_PROF_COUNTERS_H_
+
+#ifdef MAGESIM_PROF
+
+#include <cstdint>
+#include <x86intrin.h>
+
+namespace magesim {
+namespace prof {
+
+struct Counter {
+  explicit Counter(const char* name);
+  const char* name;
+  uint64_t cycles = 0;
+  uint64_t calls = 0;
+  Counter* next = nullptr;  // intrusive registry chain
+};
+
+// Prints the counter table to stderr (registered via atexit on first use).
+void Report();
+
+class Scope {
+ public:
+  explicit Scope(Counter& c) : c_(c), t0_(__rdtsc()) {}
+  ~Scope() {
+    c_.cycles += __rdtsc() - t0_;
+    ++c_.calls;
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Counter& c_;
+  uint64_t t0_;
+};
+
+}  // namespace prof
+}  // namespace magesim
+
+#define MAGESIM_PROF_CONCAT2(a, b) a##b
+#define MAGESIM_PROF_CONCAT(a, b) MAGESIM_PROF_CONCAT2(a, b)
+#define MAGESIM_PROF_SCOPE(name_token)                             \
+  static ::magesim::prof::Counter MAGESIM_PROF_CONCAT(             \
+      magesim_prof_counter_, __LINE__){#name_token};               \
+  ::magesim::prof::Scope MAGESIM_PROF_CONCAT(magesim_prof_scope_,  \
+                                             __LINE__)(            \
+      MAGESIM_PROF_CONCAT(magesim_prof_counter_, __LINE__))
+
+#else  // !MAGESIM_PROF
+
+#define MAGESIM_PROF_SCOPE(name_token) ((void)0)
+
+#endif  // MAGESIM_PROF
+
+#endif  // MAGESIM_SIM_PROF_COUNTERS_H_

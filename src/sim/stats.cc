@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "src/sim/prof_counters.h"
+
 namespace magesim {
 
 int Histogram::BucketFor(int64_t value, int* sub) {
@@ -38,6 +40,7 @@ int64_t Histogram::BucketUpperBound(int bucket, int sub) {
 void Histogram::Record(int64_t value) { RecordN(value, 1); }
 
 void Histogram::RecordN(int64_t value, uint64_t n) {
+  MAGESIM_PROF_SCOPE(hist_record);
   if (n == 0) return;
   if (count_ == 0 || value < min_) min_ = value;
   if (value > max_) max_ = value;

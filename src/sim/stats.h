@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/sim/prof_counters.h"
 #include "src/sim/time.h"
 
 namespace magesim {
@@ -75,6 +76,7 @@ class Breakdown {
 
   // Hot path: indexed accumulate.
   void Add(int category_id, SimTime ns) {
+    MAGESIM_PROF_SCOPE(breakdown_add);
     if (category_id >= static_cast<int>(by_id_.size())) {
       by_id_.resize(static_cast<size_t>(category_id) + 1);
     }

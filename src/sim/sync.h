@@ -16,12 +16,12 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "src/sim/analysis_hooks.h"
 #include "src/sim/engine.h"
+#include "src/sim/ring_queue.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -180,7 +180,7 @@ class SimMutex {
   std::string name_;
   bool locked_ = false;
   TaskId owner_ = kNoTask;
-  std::deque<Waiter> waiters_;
+  RingQueue<Waiter> waiters_;
   LockStats stats_;
 };
 
@@ -396,7 +396,7 @@ class SimSharedMutex {
   bool exclusive_ = false;
   int shared_holders_ = 0;
   TaskId owner_ = kNoTask;
-  std::deque<Waiter> waiters_;
+  RingQueue<Waiter> waiters_;
   LockStats stats_;
 };
 
@@ -533,7 +533,7 @@ class SimSemaphore {
 
   int64_t count_;
   const char* name_;
-  std::deque<Waiter> waiters_;
+  RingQueue<Waiter> waiters_;
 };
 
 // Tracks a set of spawned tasks; `co_await wg.Wait()` resumes when all
@@ -633,7 +633,7 @@ class SimCondVar {
   };
 
   const char* name_;
-  std::deque<Waiter> waiters_;
+  RingQueue<Waiter> waiters_;
 };
 
 // Bounded FIFO channel. Push suspends when full, Pop suspends when empty.
@@ -729,9 +729,9 @@ class Channel {
 
   size_t capacity_;
   const char* name_;
-  std::deque<T> items_;
-  std::deque<Waiter> push_waiters_;
-  std::deque<Waiter> pop_waiters_;
+  RingQueue<T> items_;
+  RingQueue<Waiter> push_waiters_;
+  RingQueue<Waiter> pop_waiters_;
 };
 
 }  // namespace magesim

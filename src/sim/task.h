@@ -20,6 +20,8 @@
 #include <exception>
 #include <utility>
 
+#include "src/sim/slab_alloc.h"
+
 namespace magesim {
 
 template <typename T = void>
@@ -29,6 +31,14 @@ namespace detail {
 
 class TaskPromiseBase {
  public:
+  // Coroutine frames are the simulator's hottest allocation (roughly one per
+  // simulated activity step); route them through the slab allocator. Frame
+  // allocation looks these up in the promise_type's scope, which includes
+  // this base in every Task<T>::promise_type.
+  static void* operator new(std::size_t n) { return SlabAllocator::Allocate(n); }
+  static void operator delete(void* p, std::size_t) { SlabAllocator::Deallocate(p); }
+  static void operator delete(void* p) { SlabAllocator::Deallocate(p); }
+
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
     template <typename Promise>

@@ -1,0 +1,196 @@
+// Edge-case unit tests for FrameList (src/accounting/intrusive_list.h), the
+// intrusive linkage every accounting policy's hot path leans on: unlink while
+// iterating, whole-list splice, relocation of the containing PageFrame
+// storage, and empty-list pops.
+#include "src/accounting/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/mem/frame_pool.h"
+
+namespace magesim {
+namespace {
+
+// Frames with distinct pfns; lru_list stamped the way the policies do it so
+// linked() reflects membership.
+std::vector<PageFrame> MakeFrames(int n) {
+  std::vector<PageFrame> frames(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    frames[static_cast<size_t>(i)].pfn = static_cast<uint32_t>(i);
+  }
+  return frames;
+}
+
+std::vector<uint32_t> Pfns(const FrameList& l) {
+  std::vector<uint32_t> out;
+  for (PageFrame* f = l.front(); f != nullptr; f = f->next) {
+    out.push_back(f->pfn);
+  }
+  return out;
+}
+
+TEST(FrameListTest, EmptyListPopReturnsNull) {
+  FrameList l;
+  EXPECT_EQ(l.PopFront(), nullptr);
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.size(), 0u);
+  EXPECT_EQ(l.front(), nullptr);
+  EXPECT_EQ(l.back(), nullptr);
+  // Popping an already-empty list repeatedly must stay a no-op.
+  EXPECT_EQ(l.PopFront(), nullptr);
+}
+
+TEST(FrameListTest, PushPopFifoOrder) {
+  auto frames = MakeFrames(4);
+  FrameList l;
+  for (auto& f : frames) l.PushBack(&f);
+  EXPECT_EQ(l.size(), 4u);
+  for (uint32_t want = 0; want < 4; ++want) {
+    PageFrame* f = l.PopFront();
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->pfn, want);
+    // Popped nodes must leave with clean linkage, ready for reinsertion.
+    EXPECT_EQ(f->prev, nullptr);
+    EXPECT_EQ(f->next, nullptr);
+  }
+  EXPECT_TRUE(l.empty());
+}
+
+TEST(FrameListTest, PushFrontThenBack) {
+  auto frames = MakeFrames(3);
+  FrameList l;
+  l.PushBack(&frames[1]);
+  l.PushFront(&frames[0]);
+  l.PushBack(&frames[2]);
+  EXPECT_EQ(Pfns(l), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(l.front()->pfn, 0u);
+  EXPECT_EQ(l.back()->pfn, 2u);
+}
+
+TEST(FrameListTest, RemoveHeadMiddleTail) {
+  auto frames = MakeFrames(5);
+  FrameList l;
+  for (auto& f : frames) l.PushBack(&f);
+
+  l.Remove(&frames[2]);  // middle
+  EXPECT_EQ(Pfns(l), (std::vector<uint32_t>{0, 1, 3, 4}));
+  l.Remove(&frames[0]);  // head
+  EXPECT_EQ(Pfns(l), (std::vector<uint32_t>{1, 3, 4}));
+  EXPECT_EQ(l.front()->pfn, 1u);
+  l.Remove(&frames[4]);  // tail
+  EXPECT_EQ(Pfns(l), (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(l.back()->pfn, 3u);
+  EXPECT_EQ(l.size(), 2u);
+
+  // Removed nodes are reusable immediately.
+  l.PushBack(&frames[2]);
+  EXPECT_EQ(Pfns(l), (std::vector<uint32_t>{1, 3, 2}));
+}
+
+// The evictor-scan pattern: walk the list while unlinking some nodes mid-walk
+// (grab `next` before removing, like list_for_each_safe).
+TEST(FrameListTest, UnlinkWhileIterating) {
+  auto frames = MakeFrames(6);
+  FrameList l;
+  for (auto& f : frames) l.PushBack(&f);
+
+  for (PageFrame* f = l.front(); f != nullptr;) {
+    PageFrame* next = f->next;
+    if (f->pfn % 2 == 0) l.Remove(f);
+    f = next;
+  }
+  EXPECT_EQ(Pfns(l), (std::vector<uint32_t>{1, 3, 5}));
+  EXPECT_EQ(l.size(), 3u);
+
+  // Second pass removing everything, including head and tail, mid-iteration.
+  for (PageFrame* f = l.front(); f != nullptr;) {
+    PageFrame* next = f->next;
+    l.Remove(f);
+    f = next;
+  }
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.front(), nullptr);
+  EXPECT_EQ(l.back(), nullptr);
+}
+
+TEST(FrameListTest, SpliceBackPreservesOrderAndEmptiesSource) {
+  auto frames = MakeFrames(5);
+  FrameList a, b;
+  a.PushBack(&frames[0]);
+  a.PushBack(&frames[1]);
+  b.PushBack(&frames[2]);
+  b.PushBack(&frames[3]);
+  b.PushBack(&frames[4]);
+
+  a.SpliceBack(b);
+  EXPECT_EQ(Pfns(a), (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.front(), nullptr);
+  EXPECT_EQ(b.back(), nullptr);
+
+  // The spliced boundary nodes must be properly cross-linked: removing around
+  // the seam exercises prev/next on both sides of it.
+  a.Remove(&frames[1]);
+  a.Remove(&frames[2]);
+  EXPECT_EQ(Pfns(a), (std::vector<uint32_t>{0, 3, 4}));
+}
+
+TEST(FrameListTest, SpliceBackEdgeCases) {
+  auto frames = MakeFrames(2);
+  FrameList a, b, c;
+
+  // Empty into empty: no-op.
+  a.SpliceBack(b);
+  EXPECT_TRUE(a.empty());
+
+  // Non-empty into empty: destination adopts the whole list.
+  b.PushBack(&frames[0]);
+  b.PushBack(&frames[1]);
+  a.SpliceBack(b);
+  EXPECT_EQ(Pfns(a), (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(b.empty());
+
+  // Empty into non-empty: destination unchanged.
+  a.SpliceBack(c);
+  EXPECT_EQ(Pfns(a), (std::vector<uint32_t>{0, 1}));
+
+  // The source is reusable after being drained by a splice.
+  b.PushBack(a.PopFront());
+  EXPECT_EQ(Pfns(b), (std::vector<uint32_t>{0}));
+}
+
+// PageFrame objects live in FramePool's flat vector; a frame *move* (e.g. a
+// pool embedded in a moved-from container) relocates the structs but the
+// intrusive pointers keep referring to the old addresses. This pins the
+// contract: linkage survives moving the CONTAINER of the pointers (FrameList
+// itself is moved wholesale), while the frames themselves must stay
+// address-stable. The test moves the FrameList value and verifies the chain
+// is intact at the new location.
+TEST(FrameListTest, MoveOfContainingListKeepsLinkage) {
+  auto frames = MakeFrames(3);
+  FrameList a;
+  for (auto& f : frames) a.PushBack(&f);
+
+  // FrameList has no pointers back into itself (just head/tail/size), so a
+  // byte-wise move of the list object is safe. This is what std::vector
+  // reallocation does to the per-partition lists in PartitionedFifo.
+  std::vector<FrameList> holder;
+  holder.push_back(std::move(a));
+  holder.reserve(32);  // force reallocation: the list object itself relocates
+  FrameList& moved = holder[0];
+
+  EXPECT_EQ(Pfns(moved), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(moved.size(), 3u);
+  moved.Remove(&frames[1]);
+  EXPECT_EQ(Pfns(moved), (std::vector<uint32_t>{0, 2}));
+  PageFrame* f = moved.PopFront();
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->pfn, 0u);
+  EXPECT_EQ(moved.back()->pfn, 2u);
+}
+
+}  // namespace
+}  // namespace magesim

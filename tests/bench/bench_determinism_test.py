@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Property test: every bench/perf_* harness is deterministic.
+
+Runs each harness binary (passed as argv) twice with identical settings and
+asserts the two BENCH_*.json outputs are identical once the wall-clock group
+("wall") is stripped. Everything else — schema, name, reps, scale, and every
+"sim" metric — must match bit-for-bit; the sim group feeding the CI perf gate
+(tools/perf_diff.py) is only meaningful if same-seed runs can't drift.
+
+Runs at smoke reps (MAGESIM_BENCH_REPS=0:1): sim metrics are per-rep values,
+so rep count does not affect them.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_harness(binary, out_dir):
+    env = dict(os.environ)
+    env["MAGESIM_BENCH_REPS"] = "0:1"
+    env["MAGESIM_BENCH_OUT_DIR"] = out_dir
+    subprocess.run([binary], env=env, check=True,
+                   stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+    names = [n for n in os.listdir(out_dir)
+             if n.startswith("BENCH_") and n.endswith(".json")]
+    if len(names) != 1:
+        raise AssertionError(
+            f"{binary}: expected exactly one BENCH_*.json in {out_dir}, "
+            f"got {names}")
+    with open(os.path.join(out_dir, names[0])) as f:
+        return names[0], json.load(f)
+
+
+def strip_wall(doc):
+    return {k: v for k, v in doc.items() if k != "wall"}
+
+
+def main():
+    binaries = sys.argv[1:]
+    if not binaries:
+        print("usage: bench_determinism_test.py PERF_BINARY...", file=sys.stderr)
+        return 2
+    failures = []
+    for binary in binaries:
+        with tempfile.TemporaryDirectory() as d1, \
+             tempfile.TemporaryDirectory() as d2:
+            name1, doc1 = run_harness(binary, d1)
+            name2, doc2 = run_harness(binary, d2)
+        if name1 != name2:
+            failures.append(f"{binary}: output file name changed between "
+                            f"runs: {name1} != {name2}")
+            continue
+        a, b = strip_wall(doc1), strip_wall(doc2)
+        if a != b:
+            failures.append(
+                f"{binary}: same-seed runs diverged (modulo wall clock):\n"
+                f"  run1: {json.dumps(a, sort_keys=True)}\n"
+                f"  run2: {json.dumps(b, sort_keys=True)}")
+        else:
+            print(f"ok: {os.path.basename(binary)} deterministic "
+                  f"({len(doc1.get('sim', {}))} sim metrics)")
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+// Unit tests for the hot-path slab allocator (src/sim/slab_alloc.h): block
+// recycling, header-routed frees across enable/disable flips, oversize
+// fallback, and alignment guarantees coroutine frames rely on.
+#include "src/sim/slab_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace magesim {
+namespace {
+
+// The allocator is process-global; tests restore the entry state so ordering
+// between tests (and the sanitizer default-off builds) does not matter.
+class SlabAllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    entry_enabled_ = SlabAllocator::enabled();
+    SlabAllocator::set_enabled(true);
+  }
+  void TearDown() override { SlabAllocator::set_enabled(entry_enabled_); }
+  bool entry_enabled_ = false;
+};
+
+TEST_F(SlabAllocTest, RoundTripAndAlignment) {
+  for (size_t n : {1u, 8u, 48u, 100u, 512u, 4000u}) {
+    void* p = SlabAllocator::Allocate(n);
+    ASSERT_NE(p, nullptr);
+    // Coroutine frames require at least __STDCPP_DEFAULT_NEW_ALIGNMENT__.
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u) << "n=" << n;
+    std::memset(p, 0xab, n);  // must be writable end to end
+    SlabAllocator::Deallocate(p);
+  }
+}
+
+TEST_F(SlabAllocTest, FreelistRecyclesSameClass) {
+  SlabAllocator::ResetStats();
+  void* a = SlabAllocator::Allocate(100);
+  SlabAllocator::Deallocate(a);
+  // Same size class (64-byte granularity): must get the recycled block back.
+  void* b = SlabAllocator::Allocate(80);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(SlabAllocator::stats().freelist_hits, 1u);
+  SlabAllocator::Deallocate(b);
+
+  // A different class must not steal it.
+  void* c = SlabAllocator::Allocate(1000);
+  EXPECT_NE(c, b);
+  SlabAllocator::Deallocate(c);
+}
+
+TEST_F(SlabAllocTest, OversizeFallsBackToHeap) {
+  SlabAllocator::ResetStats();
+  void* p = SlabAllocator::Allocate(SlabAllocator::kMaxSlabBytes + 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(SlabAllocator::stats().heap_allocs, 1u);
+  std::memset(p, 0x5a, SlabAllocator::kMaxSlabBytes + 1);
+  SlabAllocator::Deallocate(p);  // header routes it back to ::operator delete
+}
+
+TEST_F(SlabAllocTest, CrossEnableFreesRouteByHeader) {
+  // Allocate from slabs, flip the allocator off, free: the header must still
+  // route the block back to its free list (not to ::operator delete, which
+  // would be heap corruption).
+  void* slab_block = SlabAllocator::Allocate(64);
+  SlabAllocator::set_enabled(false);
+  SlabAllocator::Deallocate(slab_block);
+
+  // And the mirror image: heap block allocated while disabled, freed while
+  // enabled.
+  void* heap_block = SlabAllocator::Allocate(64);
+  SlabAllocator::set_enabled(true);
+  SlabAllocator::Deallocate(heap_block);
+
+  // The slab block is recyclable again.
+  void* again = SlabAllocator::Allocate(64);
+  EXPECT_EQ(again, slab_block);
+  SlabAllocator::Deallocate(again);
+}
+
+TEST_F(SlabAllocTest, ManyBlocksAreDistinctAndReusable) {
+  constexpr int kN = 1000;
+  std::vector<void*> blocks;
+  std::set<void*> unique;
+  for (int i = 0; i < kN; ++i) {
+    void* p = SlabAllocator::Allocate(200);
+    blocks.push_back(p);
+    unique.insert(p);
+  }
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kN));
+  for (void* p : blocks) SlabAllocator::Deallocate(p);
+  // Reallocation of the same class drains exactly the recycled set.
+  blocks.clear();
+  for (int i = 0; i < kN; ++i) {
+    void* p = SlabAllocator::Allocate(200);
+    EXPECT_EQ(unique.count(p), 1u) << "expected a recycled block";
+    blocks.push_back(p);
+  }
+  for (void* p : blocks) SlabAllocator::Deallocate(p);
+}
+
+TEST_F(SlabAllocTest, StatsAccounting) {
+  SlabAllocator::ResetStats();
+  void* a = SlabAllocator::Allocate(64);
+  void* b = SlabAllocator::Allocate(64);
+  SlabAllocator::Deallocate(a);
+  SlabAllocator::Deallocate(b);
+  const SlabStats& s = SlabAllocator::stats();
+  EXPECT_EQ(s.allocs, 2u);
+  EXPECT_EQ(s.frees, 2u);
+  EXPECT_EQ(s.heap_allocs, 0u);
+}
+
+TEST_F(SlabAllocTest, SlabStdAllocatorSharedPtr) {
+  // allocate_shared via the shim: object + control block in one slab block,
+  // destroyed and recycled when the last reference drops.
+  SlabAllocator::ResetStats();
+  struct Payload {
+    uint64_t a = 7;
+    uint64_t b = 9;
+  };
+  {
+    auto sp = std::allocate_shared<Payload>(SlabStdAllocator<Payload>{});
+    EXPECT_EQ(sp->a + sp->b, 16u);
+    auto sp2 = sp;  // refcount churn must not free
+    EXPECT_EQ(sp2.use_count(), 2);
+  }
+  const SlabStats& s = SlabAllocator::stats();
+  EXPECT_GE(s.allocs, 1u);
+  EXPECT_EQ(s.frees, s.allocs);  // everything came back
+}
+
+}  // namespace
+}  // namespace magesim

@@ -1,0 +1,119 @@
+// Allocator-equivalence regression test: the slab allocator recycles
+// coroutine frames and completion blocks, and must be invisible to the
+// simulation. The canonical golden scenario is run twice in-process — slab
+// enabled and disabled — and the full trace fingerprints (hash, per-type
+// event counts, end-of-run results) must be identical to each other AND to
+// the committed golden file. Any divergence means allocation strategy leaked
+// into simulated behavior (e.g. iteration order over recycled addresses).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/core/farmem.h"
+#include "src/sim/slab_alloc.h"
+#include "src/trace/trace.h"
+#include "src/workloads/seqscan.h"
+
+namespace magesim {
+namespace {
+
+// Same scenario as golden_trace_test's RunCanonical — the committed
+// seqscan_magelib.golden is the cross-check that BOTH allocator modes
+// reproduce the canonical behavior, not merely each other's.
+std::map<std::string, uint64_t> RunCanonical() {
+  SeqScanWorkload wl(
+      SeqScanWorkload::Options{.region_pages = 2048, .threads = 2, .passes = 2});
+  FarMemoryMachine::Options opt;
+  opt.kernel = MageLibConfig();
+  opt.local_mem_ratio = 0.6;
+  opt.seed = 1;
+
+  Tracer tracer;
+  TraceHashSink hash;
+  tracer.AddSink(&hash);
+  tracer.Install();
+
+  FarMemoryMachine m(opt, wl);
+  RunResult r = m.Run();
+
+  std::map<std::string, uint64_t> fp;
+  fp["hash"] = hash.hash();
+  fp["total"] = hash.total_events();
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    TraceEventType t = static_cast<TraceEventType>(i);
+    fp[std::string("count.") + TraceEventName(t)] = hash.count(t);
+  }
+  fp["result.faults"] = r.faults;
+  fp["result.evicted_pages"] = r.evicted_pages;
+  fp["result.total_ops"] = r.total_ops;
+  fp["result.sim_ns"] = static_cast<uint64_t>(r.sim_seconds * 1e9 + 0.5);
+  return fp;
+}
+
+std::map<std::string, uint64_t> LoadGolden(const std::string& path) {
+  std::map<std::string, uint64_t> g;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    g[line.substr(0, eq)] = std::strtoull(line.c_str() + eq + 1, nullptr, 10);
+  }
+  return g;
+}
+
+std::string DiffMaps(const std::map<std::string, uint64_t>& want,
+                     const std::map<std::string, uint64_t>& got) {
+  std::ostringstream diff;
+  for (const auto& [k, w] : want) {
+    auto it = got.find(k);
+    uint64_t g = it == got.end() ? 0 : it->second;
+    if (g != w) diff << "  " << k << ": " << w << " != " << g << "\n";
+  }
+  for (const auto& [k, v] : got) {
+    if (want.find(k) == want.end() && v != 0) {
+      diff << "  " << k << ": <absent> != " << v << "\n";
+    }
+  }
+  return diff.str();
+}
+
+class SlabEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { entry_enabled_ = SlabAllocator::enabled(); }
+  void TearDown() override { SlabAllocator::set_enabled(entry_enabled_); }
+  bool entry_enabled_ = false;
+};
+
+TEST_F(SlabEquivalenceTest, SlabOnAndOffProduceIdenticalGoldenTraces) {
+  SlabAllocator::set_enabled(true);
+  std::map<std::string, uint64_t> with_slab = RunCanonical();
+
+  SlabAllocator::set_enabled(false);
+  std::map<std::string, uint64_t> with_heap = RunCanonical();
+
+  std::string diff = DiffMaps(with_slab, with_heap);
+  EXPECT_TRUE(diff.empty())
+      << "slab-on vs slab-off trace fingerprints diverged — the allocator is "
+         "not behavior-neutral:\n"
+      << diff;
+
+  // Both must also match the committed golden: equivalence between two
+  // equally-wrong runs would be vacuous.
+  std::string path = std::string(MAGESIM_GOLDEN_DIR) + "/seqscan_magelib.golden";
+  std::map<std::string, uint64_t> golden = LoadGolden(path);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << path;
+  std::string gdiff = DiffMaps(golden, with_slab);
+  EXPECT_TRUE(gdiff.empty())
+      << "slab-on run diverged from committed golden (" << path << "):\n"
+      << gdiff;
+}
+
+}  // namespace
+}  // namespace magesim

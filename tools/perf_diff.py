@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json perf results against committed baselines.
+
+Two gates, matching the two metric groups bench/perf_common.h emits:
+
+  sim   Deterministic per-rep values (event counts, faults, simulated ns).
+        Compared EXACTLY. Any drift means the simulation itself changed —
+        a determinism regression — and always fails, regardless of flags.
+        Rep counts do not affect per-rep sim values, so a CI smoke run
+        (MAGESIM_BENCH_REPS=1:2) still exact-matches a baseline recorded
+        with full reps, as long as MAGESIM_SCALE matches.
+
+  wall  Wall-clock-derived values (events/sec, ns/event, best_rep_ns).
+        Machine-dependent; compared within a relative noise threshold and
+        only when --check-wall is given. Direction is inferred from the key:
+        *_per_sec is higher-is-better, everything else (ns_per_*, *_ns)
+        is lower-is-better. Improvements never fail.
+
+Usage:
+  tools/perf_diff.py --baseline-dir bench/baselines --fresh-dir out
+  tools/perf_diff.py --baseline-dir bench/baselines --fresh-dir out \
+      --check-wall --wall-threshold 0.35
+  tools/perf_diff.py baseline.json fresh.json [--check-wall]
+
+Exit status: 0 = all gates pass, 1 = regression or structural mismatch.
+See docs/INTERNALS.md "Perf harness & baselines" for the re-baseline
+procedure and threshold policy.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "magesim-bench-v1"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def wall_higher_is_better(key):
+    return key.endswith("_per_sec")
+
+
+def diff_one(name, base, fresh, check_wall, threshold):
+    """Returns a list of failure strings; prints a per-metric report."""
+    failures = []
+
+    if base.get("scale") != fresh.get("scale"):
+        failures.append(
+            f"{name}: scale mismatch (baseline {base.get('scale')}, "
+            f"fresh {fresh.get('scale')}); sim values are not comparable — "
+            "run with the baseline's MAGESIM_SCALE"
+        )
+        return failures
+
+    bsim, fsim = base.get("sim", {}), fresh.get("sim", {})
+    for key in bsim:
+        if key not in fsim:
+            failures.append(f"{name}: sim.{key} missing from fresh run")
+            continue
+        if bsim[key] != fsim[key]:
+            failures.append(
+                f"{name}: sim.{key} drifted: baseline {bsim[key]} != fresh "
+                f"{fsim[key]} (determinism regression)"
+            )
+    for key in fsim:
+        if key not in bsim:
+            failures.append(
+                f"{name}: sim.{key} present in fresh run but not in baseline "
+                "(re-baseline after intentional metric changes)"
+            )
+
+    bwall, fwall = base.get("wall", {}), fresh.get("wall", {})
+    for key in sorted(set(bwall) & set(fwall)):
+        b, f = float(bwall[key]), float(fwall[key])
+        if b == 0:
+            continue
+        ratio = f / b
+        if wall_higher_is_better(key):
+            regressed = ratio < 1.0 - threshold
+            direction = "-"
+        else:
+            regressed = ratio > 1.0 + threshold
+            direction = "+"
+        delta_pct = (ratio - 1.0) * 100.0
+        status = "ok"
+        if regressed:
+            status = "REGRESSED" if check_wall else "regressed (not gated)"
+            if check_wall:
+                failures.append(
+                    f"{name}: wall.{key} regressed beyond {threshold:.0%}: "
+                    f"baseline {b:g}, fresh {f:g} ({delta_pct:+.1f}%)"
+                )
+        print(f"  wall.{key:<24} base {b:>14g}  fresh {f:>14g}  "
+              f"{delta_pct:+7.1f}%  [{status}]")
+        del direction
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*",
+                    help="explicit pair: BASELINE.json FRESH.json")
+    ap.add_argument("--baseline-dir", help="directory of committed BENCH_*.json")
+    ap.add_argument("--fresh-dir", help="directory of freshly produced BENCH_*.json")
+    ap.add_argument("--check-wall", action="store_true",
+                    help="gate wall-clock metrics (default: report only)")
+    ap.add_argument("--wall-threshold", type=float, default=0.35,
+                    help="relative noise threshold for wall metrics (default 0.35)")
+    args = ap.parse_args()
+
+    pairs = []
+    if args.files:
+        if len(args.files) != 2 or args.baseline_dir or args.fresh_dir:
+            ap.error("pass either BASELINE FRESH or --baseline-dir/--fresh-dir")
+        pairs.append((args.files[0], args.files[1]))
+    else:
+        if not (args.baseline_dir and args.fresh_dir):
+            ap.error("pass either BASELINE FRESH or --baseline-dir/--fresh-dir")
+        names = sorted(n for n in os.listdir(args.baseline_dir)
+                       if n.startswith("BENCH_") and n.endswith(".json"))
+        if not names:
+            print(f"error: no BENCH_*.json baselines in {args.baseline_dir}",
+                  file=sys.stderr)
+            return 1
+        for n in names:
+            pairs.append((os.path.join(args.baseline_dir, n),
+                          os.path.join(args.fresh_dir, n)))
+
+    failures = []
+    for base_path, fresh_path in pairs:
+        if not os.path.exists(fresh_path):
+            failures.append(f"{fresh_path}: fresh result missing "
+                            "(harness did not run or wrote elsewhere)")
+            continue
+        base, fresh = load(base_path), load(fresh_path)
+        name = base.get("name", os.path.basename(base_path))
+        print(f"{name}:")
+        failures.extend(diff_one(name, base, fresh, args.check_wall,
+                                 args.wall_threshold))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} perf-diff failure(s):", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print("\nOK: all perf gates passed "
+          f"({'wall gated at ' + format(args.wall_threshold, '.0%') if args.check_wall else 'sim exact-match only'}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
