@@ -5,7 +5,12 @@
 // and every fault forces an eviction. The simulated outcome (faults, evicted
 // pages, events, simulated ns) is deterministic; wall-clock events/sec and
 // faults/sec are the tracked perf metrics.
+//
+// With MAGESIM_SPANS=1 the machine runs with span tracing installed and the
+// report is named fault_path_spans — tracking the enabled-overhead of the
+// span tracer against the fault_path baseline.
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "bench/perf_common.h"
@@ -62,7 +67,9 @@ int main() {
     out = got;
   }
 
-  PerfReport r("fault_path", reps);
+  const char* spans_env = std::getenv("MAGESIM_SPANS");
+  bool spans_on = spans_env != nullptr && spans_env[0] != '0';
+  PerfReport r(spans_on ? "fault_path_spans" : "fault_path", reps);
   r.Sim("faults_per_rep", out.faults);
   r.Sim("evicted_pages_per_rep", out.evicted);
   r.Sim("events_per_rep", out.events);

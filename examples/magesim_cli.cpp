@@ -36,6 +36,14 @@
 //   --metrics-prom=path      write a Prometheus text exposition
 //   --sample-interval-us=N   sampling period (default 1000)
 //   --progress               print a per-sample progress line to stderr
+// Span tracing (src/spans):
+//   --spans                  enable causal span tracing + tail attribution
+//   --spans-out=path         stream every span tree as JSONL (implies --spans;
+//                            feed to tools/span_view.py)
+//   --spans-top-k=N          slowest exemplars kept per op kind (default 8)
+//   --spans-sample=N         trace every Nth root op per kind (default 16;
+//                            1 = full fidelity, deterministic either way)
+// Unknown --flags are rejected (no silent typo-ignoring).
 // Exit status is nonzero if any invariant violation was detected.
 #include <cstdio>
 #include <cstring>
@@ -54,21 +62,46 @@
 
 namespace {
 
-std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
-  std::map<std::string, std::string> args;
+// Every flag the CLI understands. Anything else is rejected with an error
+// (a typo'd --span-out silently running an un-traced simulation wastes far
+// more time than the check costs).
+constexpr const char* kKnownFlags[] = {
+    "list-workloads", "workload",       "system",        "far",
+    "threads",        "workload-opts",  "trace-file",    "save-trace",
+    "tenant",         "seed",           "fault-plan",    "terminal",
+    "check-interval", "check",          "analysis",      "metrics-out",
+    "metrics-csv",    "metrics-prom",   "sample-interval-us",
+    "progress",       "trace",          "trace-chrome",  "spans",
+    "spans-out",      "spans-top-k",    "spans-sample",
+};
+
+bool IsKnownFlag(const std::string& name) {
+  for (const char* f : kKnownFlags) {
+    if (name == f) return true;
+  }
+  return false;
+}
+
+// Returns false (after printing the offender) on any unknown --flag.
+bool ParseArgs(int argc, char** argv, std::map<std::string, std::string>* args) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--", 0) != 0) continue;
     size_t eq = a.find('=');
+    std::string name = eq == std::string::npos ? a.substr(2) : a.substr(2, eq - 2);
+    if (!IsKnownFlag(name)) {
+      std::fprintf(stderr, "unknown option --%s\n", name.c_str());
+      return false;
+    }
     if (eq == std::string::npos) {
       // insert_or_assign rather than operator[]= : the latter trips a GCC 12
       // -Wrestrict false positive (PR105329) when the char* assign inlines.
-      args.insert_or_assign(a.substr(2), std::string("1"));
+      args->insert_or_assign(name, std::string("1"));
     } else {
-      args.insert_or_assign(a.substr(2, eq - 2), a.substr(eq + 1));
+      args->insert_or_assign(name, a.substr(eq + 1));
     }
   }
-  return args;
+  return true;
 }
 
 // ParseArgs collapses repeated flags; --tenant legitimately repeats, so it
@@ -123,6 +156,8 @@ int Usage() {
                "                   [--metrics-prom=metrics.txt] [--sample-interval-us=N]\n"
                "                   [--progress] [--fault-plan=spec|@file]\n"
                "                   [--terminal=poison|fail] [--seed=N]\n"
+               "                   [--spans] [--spans-out=spans.jsonl] [--spans-top-k=N]\n"
+               "                   [--spans-sample=N]\n"
                "workloads: see --list-workloads (trace requires --trace-file)\n"
                "systems:   ideal hermit dilos magelnx magelib fastswap\n"
                "tenants:   --tenant=name:weight:limit[:soft]:qos=workload[/threads][,k=v...]\n");
@@ -133,7 +168,8 @@ int Usage() {
 
 int main(int argc, char** argv) {
   using namespace magesim;
-  auto args = ParseArgs(argc, argv);
+  std::map<std::string, std::string> args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
   if (args.count("list-workloads") != 0) return ListWorkloadsMain();
 
   std::string wname = Get(args, "workload", "");
@@ -219,6 +255,14 @@ int main(int argc, char** argv) {
                         !opt.metrics.prom_path.empty() || sample_us > 0 ||
                         opt.metrics.progress;
 
+  opt.spans.out_path = Get(args, "spans-out", "");
+  long spans_top_k = std::atol(Get(args, "spans-top-k", "-1").c_str());
+  if (spans_top_k >= 0) opt.spans.top_k = static_cast<int>(spans_top_k);
+  long spans_sample = std::atol(Get(args, "spans-sample", "0").c_str());
+  if (spans_sample >= 1) opt.spans.sample_every = static_cast<int>(spans_sample);
+  opt.spans.enabled = args.count("spans") != 0 || !opt.spans.out_path.empty() ||
+                      spans_top_k >= 0 || spans_sample >= 1;
+
   // Install the tracer (if requested) before building the machine so the
   // checker's recent-event ring registers with it.
   Tracer tracer;
@@ -254,6 +298,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   FarMemoryMachine& machine = *machine_ptr;
+  if (machine.spans() != nullptr && chrome != nullptr) {
+    // Span slices + causal flow arrows ride the same Chrome timeline.
+    machine.spans()->AttachChrome(chrome.get());
+  }
   RunResult r = machine.Run();
 
   // With tenancy the machine swaps in a MultiTenantWorkload; report that one.
@@ -300,6 +348,31 @@ int main(int argc, char** argv) {
   }
   if (machine.metrics() != nullptr && !opt.metrics.report_path.empty()) {
     std::printf("run report      %s\n", opt.metrics.report_path.c_str());
+  }
+  if (machine.spans() != nullptr) {
+    SpanTracer& st = *machine.spans();
+    std::printf("spans           %s\n", st.FingerprintSummary().c_str());
+    SpanTailSummary tail = st.Tail(SpanKind::kFault);
+    if (tail.count > 0) {
+      // Where do the slowest faults spend their time? Name the dominant
+      // critical-path phase of the p99 latency band.
+      const SpanTailBand& band = tail.bands[2];
+      SpanKind top = SpanKind::kFault;
+      for (int k = 0; k < kNumSpanKinds; ++k) {
+        if (band.phase_ns[static_cast<size_t>(k)] >
+            band.phase_ns[static_cast<size_t>(top)]) {
+          top = static_cast<SpanKind>(k);
+        }
+      }
+      std::printf("fault p99 band  %llu ops >= %.1f us: top phase %s (%.0f%%)\n",
+                  static_cast<unsigned long long>(band.ops),
+                  static_cast<double>(band.threshold_ns) / 1000.0, SpanKindName(top),
+                  band.Share(top) * 100.0);
+    }
+    if (!opt.spans.out_path.empty()) {
+      std::printf("span export     %s%s\n", opt.spans.out_path.c_str(),
+                  st.export_ok() ? "" : " (write failed)");
+    }
   }
   if (machine.checker() != nullptr) {
     std::printf("%s\n", machine.checker()->Report().c_str());

@@ -197,6 +197,34 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
     mo.progress = env[0] != '0';
     mo.enabled = true;
   }
+  // Each MAGESIM_SPANS* override force-enables span tracing.
+  auto& so = options_.spans;
+  if (const char* env = std::getenv("MAGESIM_SPANS")) {
+    so.enabled = env[0] != '0';
+  }
+  if (const char* env = std::getenv("MAGESIM_SPANS_OUT")) {
+    so.out_path = env;
+    so.enabled = true;
+  }
+  if (const char* env = std::getenv("MAGESIM_SPANS_TOP_K")) {
+    long k = std::atol(env);
+    if (k >= 0) so.top_k = static_cast<int>(k);
+    so.enabled = true;
+  }
+  if (const char* env = std::getenv("MAGESIM_SPANS_SAMPLE")) {
+    long n = std::atol(env);
+    if (n >= 1) so.sample_every = static_cast<int>(n);
+    so.enabled = true;
+  }
+  if (so.enabled) {
+    SpanTracer::Options sto;
+    sto.out_path = so.out_path;
+    sto.top_k = so.top_k;
+    sto.sample_every = so.sample_every;
+    spans_ = std::make_unique<SpanTracer>(sto);
+    spans_->Install();  // uninstalled by ~SpanTracer
+  }
+
   if (mo.enabled) {
     if (mo.sample_interval <= 0) mo.sample_interval = kMillisecond;
     metrics_ = std::make_unique<MetricsRegistry>();
@@ -502,6 +530,16 @@ void FarMemoryMachine::PublishMetrics(const RunResult& r) {
     m.Counter("fault_breakdown." + cat + ".count").Set(e.count);
   }
 
+  if (spans_ != nullptr) {
+    m.Counter("spans.spans_total").Set(spans_->spans_total());
+    m.Counter("spans.links_total").Set(spans_->links_total());
+    m.Counter("spans.exemplar_truncated").Set(spans_->exemplar_trunc_spans());
+    m.Counter("spans.open_at_end").Set(spans_->open_spans());
+    for (SpanKind k : spans_->ActiveRootKinds()) {
+      m.Counter(std::string("spans.ops.") + SpanKindName(k)).Set(spans_->ops(k));
+    }
+  }
+
   m.Hist("fault_latency_ns").histogram().Merge(ks.fault_latency);
   m.Hist("sync_evict_latency_ns").histogram().Merge(ks.sync_evict_latency);
   m.Hist("tlb_shootdown_ns").histogram().Merge(tlb_->shootdown_latency());
@@ -544,6 +582,7 @@ std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
   w.KV("fault_plan", injector_ != nullptr ? injector_->plan().ToSpec() : std::string());
   w.KV("resilience", resilience_ != nullptr);
   w.KV("analysis", analyzer_ != nullptr);
+  w.KV("spans", spans_ != nullptr);
   w.EndObject();
 
   w.Key("run");
@@ -590,6 +629,18 @@ std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
   }
 
   AppendRegistryJson(w, *metrics_);
+
+  // Percentile-conditioned critical-path attribution (schema_version 2).
+  if (spans_ != nullptr) {
+    std::vector<std::string> tenant_names;
+    if (tenancy_ != nullptr) {
+      for (int t = 0; t < tenancy_->num_tenants(); ++t) {
+        tenant_names.push_back(tenancy_->spec(t).name);
+      }
+    }
+    w.Key("tail");
+    spans_->AppendTailJson(w, tenant_names);
+  }
 
   w.Key("breakdowns");
   w.BeginObject();

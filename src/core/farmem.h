@@ -26,6 +26,7 @@
 #include "src/paging/kernels.h"
 #include "src/resilience/fault_injector.h"
 #include "src/resilience/resilient_rdma.h"
+#include "src/spans/spans.h"
 #include "src/tenancy/memcg.h"
 #include "src/trace/trace.h"
 #include "src/workloads/workload.h"
@@ -161,6 +162,25 @@ class FarMemoryMachine {
     };
     MetricsOptions metrics;
 
+    // Causal span tracing with critical-path tail attribution (src/spans).
+    // Each MAGESIM_SPANS* environment override also force-enables it:
+    //   MAGESIM_SPANS=1                   enable ("0" disables)
+    //   MAGESIM_SPANS_OUT=spans.jsonl     JSONL span export path
+    //   MAGESIM_SPANS_TOP_K=16            slowest exemplars per op kind
+    // Enabling spans adds a `tail` section to the JSON run-report and
+    // spans.* counters to the registry; with spans disabled every golden
+    // and benchmark is byte-identical to a build without the subsystem.
+    struct SpansOptions {
+      bool enabled = false;
+      std::string out_path;  // JSONL span export ("" = don't write)
+      int top_k = 8;
+      // Trace every Nth root op per kind (deterministic head sampling).
+      // The enabled-by-default rate keeps spans-on perf_fault_path within
+      // the ≤5% faults/sec budget; set 1 for full fidelity (tests, goldens).
+      int sample_every = 32;
+    };
+    SpansOptions spans;
+
     // Simulated-time lock-discipline analysis (src/analysis): ownership,
     // guarded-state, lock-order and held-across-await checking on every sim
     // lock. The MAGESIM_ANALYSIS environment variable force-enables it ("0"
@@ -227,6 +247,8 @@ class FarMemoryMachine {
   MemoryNode& memnode() { return *memnode_; }
   // Null unless metrics were enabled via Options or MAGESIM_METRICS_*.
   MetricsRegistry* metrics() { return metrics_.get(); }
+  // Null unless spans were enabled via Options or MAGESIM_SPANS*.
+  SpanTracer* spans() { return spans_.get(); }
   SimProfiler* profiler() { return profiler_.get(); }
   MetricsSampler* sampler() { return sampler_.get(); }
   // The JSON run-report built at the end of Run(); empty when metrics are
@@ -261,6 +283,7 @@ class FarMemoryMachine {
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<SimProfiler> profiler_;
   std::unique_ptr<MetricsSampler> sampler_;
+  std::unique_ptr<SpanTracer> spans_;  // installed for the machine's lifetime
   std::string report_json_;
   std::vector<std::unique_ptr<AppThread>> threads_;
   WaitGroup wg_;

@@ -46,10 +46,13 @@ Task<> TlbShootdownManager::DeliverIpi(CoreId target, int num_pages, SimTime sen
   --pending_ipis_;
   TraceEmit(TraceEventType::kIpiAck, target, kTraceNoPage, kTraceNoFrame,
             static_cast<uint64_t>(elapsed));
+  SpanLeafUnder(op->span(), SpanKind::kIpiDeliver, send_time, Engine::current().now(),
+                target, kTraceNoPage, {}, static_cast<uint64_t>(elapsed));
   op->Ack();
 }
 
-Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, int num_pages) {
+Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, int num_pages,
+                                                              SpanHandle span) {
   const MachineParams& p = topo_.params();
   Engine& eng = Engine::current();
   ++shootdowns_;
@@ -67,6 +70,7 @@ Task<std::shared_ptr<ShootdownOp>> TlbShootdownManager::Begin(CoreId initiator, 
     if (t != initiator) ++remote_targets;
   }
   auto op = std::make_shared<ShootdownOp>(remote_targets, eng.now(), initiator);
+  op->set_span(span);
   if (remote_targets == 0) {
     co_return op;
   }
@@ -97,8 +101,8 @@ Task<> TlbShootdownManager::Finish(std::shared_ptr<ShootdownOp> op) {
             static_cast<uint64_t>(elapsed));
 }
 
-Task<> TlbShootdownManager::Shootdown(CoreId initiator, int num_pages) {
-  auto op = co_await Begin(initiator, num_pages);
+Task<> TlbShootdownManager::Shootdown(CoreId initiator, int num_pages, SpanHandle span) {
+  auto op = co_await Begin(initiator, num_pages, span);
   co_await Finish(std::move(op));
 }
 

@@ -19,6 +19,7 @@
 #include "src/sim/stats.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/spans/spans.h"
 
 namespace magesim {
 
@@ -35,10 +36,17 @@ class ShootdownOp {
   CoreId initiator() const { return initiator_; }
   bool done() const { return latch_.count() == 0; }
 
+  // Span of the operation (eviction batch) this shootdown belongs to;
+  // passed into Begin() so per-IPI delivery leaves attach to it from the
+  // spawned delivery tasks.
+  void set_span(SpanHandle s) { span_ = s; }
+  SpanHandle span() const { return span_; }
+
  private:
   CountdownLatch latch_;
   SimTime start_;
   CoreId initiator_;
+  SpanHandle span_;
 };
 
 class TlbShootdownManager {
@@ -53,10 +61,12 @@ class TlbShootdownManager {
   // Asynchronous begin: returns once all IPIs have been *sent* (the sender-
   // side serialization cost has elapsed); the returned op completes when all
   // targets have acknowledged. `num_pages` selects INVLPG-loop vs full flush.
-  Task<std::shared_ptr<ShootdownOp>> Begin(CoreId initiator, int num_pages);
+  // `span` is the initiating operation's span (per-IPI leaves attach to it).
+  Task<std::shared_ptr<ShootdownOp>> Begin(CoreId initiator, int num_pages,
+                                           SpanHandle span = {});
 
   // Synchronous shootdown: begin + wait; records total latency.
-  Task<> Shootdown(CoreId initiator, int num_pages);
+  Task<> Shootdown(CoreId initiator, int num_pages, SpanHandle span = {});
 
   // Finishes an op begun with Begin() and records its total latency.
   Task<> Finish(std::shared_ptr<ShootdownOp> op);

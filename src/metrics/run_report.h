@@ -22,7 +22,9 @@
 
 namespace magesim {
 
-inline constexpr int kRunReportSchemaVersion = 1;
+// 2: added the `tail` section (span critical-path attribution, present when
+// span tracing is enabled) and "spans" to the config section.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 // Streaming JSON writer with automatic comma placement. Emits compact,
 // deterministic output (sorted inputs are the caller's job).

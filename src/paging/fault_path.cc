@@ -6,6 +6,8 @@
 #include "src/paging/prefetcher.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
+#include "src/spans/spans.h"
+#include "src/tenancy/memcg.h"
 #include "src/trace/trace.h"
 
 namespace magesim {
@@ -94,17 +96,46 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     // in-flight fault instead of issuing a duplicate read.
     ++stats_.dedup_waits;
     TraceEmit(TraceEventType::kFaultDedup, core, vpn);
+    SpanHandle droot{};
+    SpanCausalPoint inflight{};
+    SimTime w0 = eng.now();
+    if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+      int tenant = tenancy_ != nullptr ? tenancy_->TenantOf(vpn) : -1;
+      droot = st->BeginDetached(SpanKind::kFault, core, vpn, tenant, t0);
+      if (st->Sampled(droot)) {
+        st->LeafUnder(droot, SpanKind::kEntry, t0, w0, core, vpn);
+        // Capture the in-flight fault before waiting: it erases its page-span
+        // registration when it completes.
+        inflight = st->page_span(vpn);
+      }
+    }
     co_await pt_->WaitForFault(vpn);
+    if (droot) {
+      SpanLeafUnder(droot, SpanKind::kDedupWait, w0, eng.now(), core, vpn, inflight);
+      SpanEndDetached(droot, /*arg=*/1);  // arg 1 marks a dedup-coalesced fault
+    }
     stats_.fault_latency.Record(eng.now() - t0);
     co_return;
   }
   ++stats_.faults;
   TraceEmit(TraceEventType::kFaultStart, core, vpn, kTraceNoFrame, write ? 1 : 0);
+  // The fault span is a detached root: the handle is threaded explicitly
+  // through admission, allocation, and the resilient read so the suppressed
+  // (sampled-out) case never touches the tracer's context map.
+  SpanHandle root{};
+  if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+    int tenant = tenancy_ != nullptr ? tenancy_->TenantOf(vpn) : -1;
+    root = st->BeginDetached(SpanKind::kFault, core, vpn, tenant, t0);
+    if (st->Sampled(root)) {
+      st->LeafUnder(root, SpanKind::kEntry, t0, eng.now(), core, vpn);
+      st->NotePageSpan(vpn, root);  // dedup'd followers link to this fault
+    }
+  }
 
   // --- Tenancy admission: QoS backpressure + hard-limit gate ---
   if (tenancy_ != nullptr) {
     PhaseScope ps(core, SimPhase::kFreeWait);
-    co_await TenantAdmission(core, vpn);
+    co_await TenantAdmission(core, vpn, root);
   }
 
   // --- Serialized mm bookkeeping (page-table lock, rmap, cgroup: Linux) ---
@@ -114,11 +145,12 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     auto g = co_await mm_locks_.Scoped();
     co_await Delay{config_.mm_locks_cs_ns};
     stats_.fault_breakdown.Add(kCatOther, eng.now() - m0);
+    SpanLeafUnder(root, SpanKind::kMmLocks, m0, eng.now(), core, vpn);
   }
 
   // --- FP1: local page allocation (may wait for / trigger eviction) ---
   SimTime a0 = eng.now();
-  PageFrame* frame = co_await AllocWithPressure(core, vpn);
+  PageFrame* frame = co_await AllocWithPressure(core, vpn, root);
   assert(frame != nullptr);
   TraceEmit(TraceEventType::kFrameAlloc, core, vpn, frame->pfn);
   stats_.fault_breakdown.Add(kCatAlloc, eng.now() - a0);
@@ -132,10 +164,15 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
       co_await Delay{config_.rdma_stack_cs_ns};
     }
     if (resilience_ != nullptr) {
-      RemoteOpStatus st = co_await resilience_->ReadPage(core, vpn, /*allow_poison=*/true);
+      // The resilience manager emits its own rdma/retry/backoff/breaker
+      // leaves under the fault span.
+      RemoteOpStatus st =
+          co_await resilience_->ReadPage(core, vpn, /*allow_poison=*/true, root);
       if (st == RemoteOpStatus::kPoisoned) ++stats_.pages_poisoned;
     } else {
+      SimTime n0 = eng.now();
       co_await nic_.Read(kPageSize);
+      SpanLeafUnder(root, SpanKind::kRdmaRead, n0, eng.now(), core, vpn);
     }
   }
   stats_.fault_breakdown.Add(kCatRdma, eng.now() - r0);
@@ -164,6 +201,7 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     remote_valid_[vpn] = false;
   }
   stats_.fault_breakdown.Add(kCatOther, eng.now() - o0);
+  SpanLeafUnder(root, SpanKind::kMapInstall, o0, eng.now(), core, vpn);
 
   // --- FP3: page accounting insert ---
   SimTime acc0 = eng.now();
@@ -172,8 +210,13 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     co_await accounting_->Insert(core, frame);
   }
   stats_.fault_breakdown.Add(kCatAccounting, eng.now() - acc0);
+  SpanLeafUnder(root, SpanKind::kAccounting, acc0, eng.now(), core, vpn);
 
   pt_->EndFault(vpn);
+  if (SpanTracer* st = SpanTracer::Get(); st != nullptr && root) {
+    if (st->Sampled(root)) st->ErasePageSpan(vpn);
+    st->EndDetached(root);
+  }
   stats_.fault_latency.Record(eng.now() - t0);
   TraceEmit(TraceEventType::kFaultEnd, core, vpn, frame->pfn,
             static_cast<uint64_t>(eng.now() - t0));

@@ -13,6 +13,7 @@
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
 #include "src/sim/prof_counters.h"
+#include "src/spans/spans.h"
 #include "src/tenancy/memcg.h"
 #include "src/tenancy/tenant_accounting.h"
 #include "src/trace/trace.h"
@@ -248,10 +249,13 @@ void Kernel::ChargePage(int actor, uint64_t vpn, PageFrame* f) {
   TraceEmit(TraceEventType::kTenantCharge, actor, vpn, f->pfn, static_cast<uint64_t>(t));
 }
 
-void Kernel::UnchargePage(int actor, uint64_t vpn, PageFrame* f) {
+void Kernel::UnchargePage(int actor, uint64_t vpn, PageFrame* f, SpanHandle span) {
   if (tenancy_ == nullptr) return;
   int t = tenancy_->Uncharge(vpn, f);
   TraceEmit(TraceEventType::kTenantUncharge, actor, vpn, f->pfn, static_cast<uint64_t>(t));
+  // Register the uncharging batch as the tenant's causal headroom publisher:
+  // faults parked on the hard limit link their wait to this batch's span.
+  if (SpanTracer* st = SpanTracer::Get(); st != nullptr) st->NoteTenantRelease(t, span);
 }
 
 bool Kernel::TenancyEvictionPressure() const {
@@ -262,7 +266,7 @@ bool Kernel::TenancyHardWaiters() const {
   return tenancy_ != nullptr && tenancy_->HasHardWaiters();
 }
 
-Task<> Kernel::TenantAdmission(CoreId core, uint64_t vpn) {
+Task<> Kernel::TenantAdmission(CoreId core, uint64_t vpn, SpanHandle op) {
   if (tenancy_ == nullptr) co_return;
   int t = tenancy_->TenantOf(vpn);
   MemCgroup& cg = tenancy_->cgroup(t);
@@ -277,7 +281,16 @@ Task<> Kernel::TenantAdmission(CoreId core, uint64_t vpn) {
     cg.NoteBackpressure();
     TraceEmit(TraceEventType::kTenantThrottle, core, vpn, kTraceNoFrame,
               static_cast<uint64_t>(t));
+    SimTime b0 = Engine::current().now();
+    bool degraded = resilience_ != nullptr && resilience_->write_degraded();
     co_await Delay{kTenantBackpressureNs};
+    if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+      // A throttle taken because the write channel is degraded is causally
+      // the open breaker's fault; link to the op that opened it.
+      st->LeafUnder(op, SpanKind::kTenantThrottle, b0, Engine::current().now(), core,
+                    vpn, degraded ? st->breaker_open(1) : SpanCausalPoint{},
+                    static_cast<uint64_t>(t));
+    }
   }
 
   // Hard-limit admission: park on the tenant's headroom event until an
@@ -296,6 +309,12 @@ Task<> Kernel::TenantAdmission(CoreId core, uint64_t vpn) {
     cg.NoteHardWait(waited);
     TraceEmit(TraceEventType::kTenantHardWait, core, vpn, kTraceNoFrame,
               static_cast<uint64_t>(waited));
+    if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+      // Read the release point after waking: the uncharge that freed the
+      // headroom registered its batch span just before the event fired.
+      st->LeafUnder(op, SpanKind::kTenantPark, w0, Engine::current().now(), core, vpn,
+                    st->tenant_release(t), static_cast<uint64_t>(t));
+    }
   }
 }
 
@@ -352,7 +371,7 @@ Task<> Kernel::TenantBalanceControllerMain() {
   }
 }
 
-Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
+Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn, SpanHandle op) {
   if (config_.variant == Variant::kIdeal) {
     // The ideal variant has no allocator locks by construction.
     AnalysisExemptScope exempt;
@@ -367,12 +386,14 @@ Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
     // Trigger sync eviction below the min watermark (Hermit/DiLOS eager
     // behavior) or on outright allocation failure.
     if (config_.allow_sync_eviction && free_pages() <= min_wm_) {
-      co_await SyncEvict(core);
+      co_await SyncEvict(core, op);
     }
     PageFrame* f;
     {
       PhaseScope ps(core, SimPhase::kFaultAlloc);
+      SimTime a0 = Engine::current().now();
       f = co_await allocator_->Alloc(core);
+      SpanLeafUnder(op, SpanKind::kAlloc, a0, Engine::current().now(), core, vpn);
     }
     if (f != nullptr) {
       MaybeWakeEvictors();
@@ -380,7 +401,7 @@ Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
     }
     MaybeWakeEvictors();
     if (config_.allow_sync_eviction) {
-      co_await SyncEvict(core);
+      co_await SyncEvict(core, op);
       continue;
     }
     // MAGE P1: the fault path never evicts; wait for the EP to free pages.
@@ -402,16 +423,21 @@ Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn) {
     stats_.free_wait_time_total += waited;
     TraceEmit(TraceEventType::kFreeWaitEnd, core, vpn, kTraceNoFrame,
               static_cast<uint64_t>(waited));
+    if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+      // Link to the eviction batch that published the headroom we woke on.
+      st->LeafUnder(op, SpanKind::kFreeWait, w0, Engine::current().now(), core, vpn,
+                    st->headroom_publisher(), static_cast<uint64_t>(waited));
+    }
   }
 }
 
-Task<> Kernel::SyncEvict(CoreId core) {
+Task<> Kernel::SyncEvict(CoreId core, SpanHandle op) {
   SimTime t0 = Engine::current().now();
   ++stats_.sync_evictions;
   TraceEmit(TraceEventType::kSyncEvictStart, core);
   co_await EvictBatchSequential(/*evictor_id=*/core % std::max(config_.num_evictors, 1), core,
                                 static_cast<size_t>(config_.sync_evict_batch),
-                                &stats_.fault_breakdown);
+                                &stats_.fault_breakdown, op);
   SimTime elapsed = Engine::current().now() - t0;
   stats_.sync_evict_latency.Record(elapsed);
   TraceEmit(TraceEventType::kSyncEvictEnd, core, kTraceNoPage, kTraceNoFrame,
@@ -419,7 +445,8 @@ Task<> Kernel::SyncEvict(CoreId core) {
 }
 
 Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
-                                    std::vector<PageFrame*>* out, Breakdown* sync_attr) {
+                                    std::vector<PageFrame*>* out, Breakdown* sync_attr,
+                                    SpanHandle bspan) {
   SimTime i0 = Engine::current().now();
   size_t got;
   {
@@ -429,15 +456,18 @@ Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
   if (sync_attr != nullptr) {
     sync_attr->Add(kCatAccounting, Engine::current().now() - i0);
   }
+  SpanLeafUnder(bspan, SpanKind::kAccounting, i0, Engine::current().now(), core,
+                kTraceNoPage, {}, got);
   if (got == 0) co_return 0;
   const MachineParams& hw = topo_.params();
+  SimTime u0 = Engine::current().now();
   PhaseScope ps(core, SimPhase::kEviction);
   for (PageFrame* f : *out) {
     assert(f->vpn != kInvalidVpn);
     uint64_t vpn = f->vpn;
     co_await Delay{hw.pte_update_ns + config_.evict_page_cost_ns};
     pt_->Unmap(vpn);  // transfers the dirty bit onto the frame
-    UnchargePage(evictor_id, vpn, f);
+    UnchargePage(evictor_id, vpn, f, bspan);
     TraceEmit(TraceEventType::kPageUnmap, evictor_id, vpn, f->pfn);
     if (swap_ != nullptr) {
       // EP3: allocate remote swap space under the global swap lock.
@@ -449,6 +479,8 @@ Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
     }
     // Direct mapping needs no allocation: remote_addr = local_addr (§4.2.3).
   }
+  SpanLeafUnder(bspan, SpanKind::kUnmapVictims, u0, Engine::current().now(), evictor_id,
+                kTraceNoPage, {}, got);
   co_return got;
 }
 
@@ -476,11 +508,21 @@ std::shared_ptr<RdmaCompletion> Kernel::PostWriteback(const std::vector<PageFram
 }
 
 Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t batch,
-                                          Breakdown* sync_attr) {
+                                          Breakdown* sync_attr, SpanHandle parent) {
   std::vector<PageFrame*> victims;
   victims.reserve(batch);
-  size_t got = co_await PrepareVictims(evictor_id, core, batch, &victims, sync_attr);
-  if (got == 0) co_return 0;
+  // Open before victim prep so the unmap/uncharge leaves (and the tenant
+  // headroom releases inside them) land under this batch span. When called
+  // from SyncEvict the span nests as a child of the faulting op.
+  SpanHandle bspan{};
+  if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+    bspan = st->BeginChild(parent, SpanKind::kEvictBatch, evictor_id, kTraceNoPage);
+  }
+  size_t got = co_await PrepareVictims(evictor_id, core, batch, &victims, sync_attr, bspan);
+  if (got == 0) {
+    SpanEndDetached(bspan, 0);
+    co_return 0;
+  }
   TraceEmit(TraceEventType::kEvictBatchStart, evictor_id, kTraceNoPage, kTraceNoFrame, got);
 
   // EP2: invalidate victim translations everywhere — or, in lazy-TLB mode,
@@ -491,12 +533,14 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
     if (config_.lazy_tlb) {
       co_await lazy_epoch_.Wait();
     } else {
-      co_await tlb_.Shootdown(core, static_cast<int>(got));
+      co_await tlb_.Shootdown(core, static_cast<int>(got), bspan);
     }
   }
   if (sync_attr != nullptr) {
     sync_attr->Add(kCatTlb, Engine::current().now() - s0);
   }
+  SpanLeafUnder(bspan, config_.lazy_tlb ? SpanKind::kLazyTlbWait : SpanKind::kShootdownWait,
+                s0, Engine::current().now(), evictor_id, kTraceNoPage, {}, got);
 
   // EP4: write back dirty pages. The resilient path awaits every completion
   // with a deadline and retries failures; pages whose writes are lost for
@@ -508,13 +552,15 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
     if (resilience_ != nullptr) {
       size_t dirty = CountDirtyForWriteback(victims);
       if (dirty > 0) {
-        co_await resilience_->WritePages(evictor_id, dirty);
+        co_await resilience_->WritePages(evictor_id, dirty, bspan);
       }
     } else {
       auto last = PostWriteback(victims);
       if (last != nullptr) {
         co_await last->Wait();
       }
+      SpanLeafUnder(bspan, SpanKind::kRdmaWrite, w0, Engine::current().now(), evictor_id,
+                    kTraceNoPage);
     }
   }
   if (sync_attr != nullptr) {
@@ -529,12 +575,19 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
   }
   {
     PhaseScope ps(core, SimPhase::kEviction);
+    SimTime f0 = Engine::current().now();
     co_await allocator_->FreeBatch(core, victims);
+    SpanLeafUnder(bspan, SpanKind::kReclaim, f0, Engine::current().now(), evictor_id,
+                  kTraceNoPage, {}, got);
   }
   stats_.evicted_pages += got;
   ++stats_.eviction_batches;
+  if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+    st->NoteHeadroomPublisher(bspan);
+  }
   free_pages_available_.Set();
   TraceEmit(TraceEventType::kEvictBatchEnd, evictor_id, kTraceNoPage, kTraceNoFrame, got);
+  SpanEndDetached(bspan, got);
   co_return got;
 }
 

@@ -19,6 +19,7 @@
 #include "src/mem/vma.h"
 #include "src/paging/config.h"
 #include "src/sim/stats.h"
+#include "src/spans/spans.h"
 
 namespace magesim {
 
@@ -87,8 +88,12 @@ class Kernel {
   // --- Eviction machinery (shared by evictor threads and sync eviction) ---
   // Runs one sequential eviction batch: isolate victims, unmap, allocate
   // remote space, shootdown, write dirty pages, reclaim. Returns pages freed.
+  // `parent` is the span of the operation running the batch inline (sync
+  // eviction nests its batch span under the faulting op); default = a
+  // detached batch root.
   Task<size_t> EvictBatchSequential(int evictor_id, CoreId core, size_t batch,
-                                    Breakdown* sync_attr = nullptr);
+                                    Breakdown* sync_attr = nullptr,
+                                    SpanHandle parent = {});
 
   // Evictor main loops (implemented in evictor.cc / pipelined_evictor.cc).
   Task<> SequentialEvictorMain(int evictor_id, CoreId core);
@@ -145,23 +150,28 @@ class Kernel {
 
   // Allocates one frame, applying the variant's pressure policy (sync
   // eviction vs. waiting for the EP). Attributes wait time to the breakdown.
-  Task<PageFrame*> AllocWithPressure(CoreId core, uint64_t vpn);
+  // `op` is the requesting operation's span (alloc/free-wait leaves attach
+  // to it; spans are hot-path handle-explicit, never context-stack lookups).
+  Task<PageFrame*> AllocWithPressure(CoreId core, uint64_t vpn, SpanHandle op = {});
 
   // --- Tenancy hooks (all no-ops with no TenancyManager attached) ---
   // Charge/uncharge accompany every Map/Unmap so the per-tenant charge set
   // mirrors the present PTEs at every event boundary.
   void ChargePage(int actor, uint64_t vpn, PageFrame* f);
-  void UnchargePage(int actor, uint64_t vpn, PageFrame* f);
+  // `span` is the uncharging batch's span, registered as the tenant's causal
+  // headroom publisher.
+  void UnchargePage(int actor, uint64_t vpn, PageFrame* f, SpanHandle span = {});
   // Hard-limit admission + batch-QoS backpressure, run by the fault path
-  // after fault dedup and before allocation.
-  Task<> TenantAdmission(CoreId core, uint64_t vpn);
+  // after fault dedup and before allocation. `op` is the fault's span.
+  Task<> TenantAdmission(CoreId core, uint64_t vpn, SpanHandle op = {});
   // True while any tenant has blocked faulters or is inside its watermark
   // band: keeps evictors running above the global high watermark.
   bool TenancyEvictionPressure() const;
   bool TenancyHardWaiters() const;
 
-  // One inline (synchronous) eviction from the fault path.
-  Task<> SyncEvict(CoreId core);
+  // One inline (synchronous) eviction from the fault path; the batch span
+  // nests under `op` (the faulting operation).
+  Task<> SyncEvict(CoreId core, SpanHandle op = {});
 
   // Batch state for the pipelined evictor. Exactly one of write_completion /
   // write_ticket is set once writeback is posted (ticket when the resilient
@@ -171,6 +181,9 @@ class Kernel {
     std::shared_ptr<ShootdownOp> shootdown;
     std::shared_ptr<RdmaCompletion> write_completion;
     std::shared_ptr<WritebackTicket> write_ticket;
+    // Detached batch span: the batch outlives any single co_await chain, so
+    // its span is closed explicitly when the frames are reclaimed (stage 3).
+    SpanHandle span;
   };
 
   // Wakes sleeping evictors when free pages dip below the low watermark.
@@ -181,8 +194,10 @@ class Kernel {
   void IdealReclaimOne();
 
   // Unmaps victims, assigns remote slots. Returns unmapped frames via `out`.
+  // `bspan` is the owning batch's span (accounting/unmap leaves attach to it).
   Task<size_t> PrepareVictims(int evictor_id, CoreId core, size_t batch,
-                              std::vector<PageFrame*>* out, Breakdown* sync_attr = nullptr);
+                              std::vector<PageFrame*>* out, Breakdown* sync_attr = nullptr,
+                              SpanHandle bspan = {});
 
   // Marks remote copies valid, counts clean reclaims, and returns how many
   // victims need an RDMA write.

@@ -49,12 +49,21 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
     // remote space.
     EvictionBatch cur;
     if (pressure) {
+      if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+        // Detached: the batch's span outlives this co_await chain by two
+        // pipeline stages, so the handle rides the EvictionBatch and is
+        // passed explicitly to every stage that emits leaves.
+        cur.span = st->BeginDetached(SpanKind::kEvictBatch, evictor_id, kTraceNoPage);
+      }
       co_await PrepareVictims(evictor_id, core, static_cast<size_t>(config_.evict_batch_pages),
-                              &cur.victims);
+                              &cur.victims, nullptr, cur.span);
       pending_reclaims_ += cur.victims.size();
       if (!cur.victims.empty()) {
         TraceEmit(TraceEventType::kEvictBatchStart, evictor_id, kTraceNoPage, kTraceNoFrame,
                   cur.victims.size());
+      } else if (cur.span) {
+        SpanEndDetached(cur.span, 0);  // empty scan: close the attempt immediately
+        cur.span = SpanHandle{};
       }
     }
 
@@ -63,16 +72,24 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
     // Lazy-TLB mode replaces both with a wait for the reconciliation tick.
     if (prev.has_value()) {
       PhaseScope ps(core, SimPhase::kTlbWait);
+      SimTime s0 = eng.now();
       if (config_.lazy_tlb) {
         co_await lazy_epoch_.Wait();
+        SpanLeafUnder(prev->span, SpanKind::kLazyTlbWait, s0, eng.now(), evictor_id,
+                      kTraceNoPage);
       } else {
         co_await tlb_.Finish(prev->shootdown);
+        SpanLeafUnder(prev->span, SpanKind::kShootdownWait, s0, eng.now(), evictor_id,
+                      kTraceNoPage);
         prev->shootdown = nullptr;
       }
     }
     if (!cur.victims.empty() && !config_.lazy_tlb) {
       PhaseScope ps(core, SimPhase::kTlbWait);
-      cur.shootdown = co_await tlb_.Begin(core, static_cast<int>(cur.victims.size()));
+      // Begin() carries the batch span into the ShootdownOp so the per-IPI
+      // delivery leaves land under this batch.
+      cur.shootdown =
+          co_await tlb_.Begin(core, static_cast<int>(cur.victims.size()), cur.span);
     }
 
     // Stage 3: wait for the oldest batch's RDMA writes, reclaim its frames,
@@ -80,8 +97,13 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
     if (prevprev.has_value()) {
       if (prevprev->write_completion != nullptr) {
         PhaseScope ps(core, SimPhase::kRdmaWait);
+        SimTime w0 = eng.now();
         co_await prevprev->write_completion->Wait();
+        SpanLeafUnder(prevprev->span, SpanKind::kRdmaWrite, w0, eng.now(), evictor_id,
+                      kTraceNoPage);
       } else if (prevprev->write_ticket != nullptr) {
+        // The resilient writeback ticket emits its own rdma/retry/backoff
+        // leaves under this batch's span from its spawned task.
         PhaseScope ps(core, SimPhase::kRdmaWait);
         co_await prevprev->write_ticket->done.Wait();
       }
@@ -92,21 +114,28 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       }
       {
         PhaseScope ps(core, SimPhase::kEviction);
+        SimTime f0 = eng.now();
         co_await allocator_->FreeBatch(core, prevprev->victims);
+        SpanLeafUnder(prevprev->span, SpanKind::kReclaim, f0, eng.now(), evictor_id,
+                      kTraceNoPage, {}, prevprev->victims.size());
       }
       pending_reclaims_ -= prevprev->victims.size();
       stats_.evicted_pages += prevprev->victims.size();
       ++stats_.eviction_batches;
+      if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+        st->NoteHeadroomPublisher(prevprev->span);
+      }
       free_pages_available_.Set();
       TraceEmit(TraceEventType::kEvictBatchEnd, evictor_id, kTraceNoPage, kTraceNoFrame,
                 prevprev->victims.size());
+      SpanEndDetached(prevprev->span, prevprev->victims.size());
       prevprev.reset();
     }
     if (prev.has_value()) {
       if (resilience_ != nullptr) {
         size_t dirty = CountDirtyForWriteback(prev->victims);
         if (dirty > 0) {
-          prev->write_ticket = resilience_->SpawnWritePages(evictor_id, dirty);
+          prev->write_ticket = resilience_->SpawnWritePages(evictor_id, dirty, prev->span);
         }
       } else {
         prev->write_completion = PostWriteback(prev->victims);

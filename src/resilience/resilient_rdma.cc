@@ -47,19 +47,38 @@ Task<ResilienceManager::OpOutcome> ResilienceManager::AwaitWithDeadline(
   co_return c->ok() ? OpOutcome::kOk : OpOutcome::kError;
 }
 
-Task<bool> ResilienceManager::OneOp(bool is_write, int actor, uint64_t vpn, int budget) {
+Task<bool> ResilienceManager::OneOp(bool is_write, int actor, uint64_t vpn, int budget,
+                                    SpanHandle op) {
   BackoffSequence backoff(opt_.retry);
   CircuitBreaker& br = is_write ? write_breaker_ : read_breaker_;
+  const int channel = is_write ? 1 : 0;
   for (int attempt = 0;; ++attempt) {
+    SimTime g0 = Engine::current().now();
     co_await br.Admit();
+    if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+      // Nonzero only while the breaker is open; link to the op that opened it.
+      st->LeafUnder(op, SpanKind::kBreakerWait, g0, Engine::current().now(), actor, vpn,
+                    st->breaker_open(channel));
+    }
+    SimTime p0 = Engine::current().now();
     auto c = is_write ? nic_.PostWrite(kPageSize) : nic_.PostRead(kPageSize);
     OpOutcome out = co_await AwaitWithDeadline(c, actor, vpn);
+    SpanLeafUnder(op,
+                  attempt == 0 ? (is_write ? SpanKind::kRdmaWrite : SpanKind::kRdmaRead)
+                               : SpanKind::kRdmaRetry,
+                  p0, Engine::current().now(), actor, vpn, {},
+                  static_cast<uint64_t>(attempt) + 1);
     if (out == OpOutcome::kOk) {
       br.OnSuccess();
       attempts_per_op_.Record(static_cast<uint64_t>(attempt) + 1);
       co_return true;
     }
+    bool was_degraded = br.degraded();
     br.OnFailure();
+    if (SpanTracer* st = SpanTracer::Get();
+        st != nullptr && !was_degraded && br.degraded()) {
+      st->NoteBreakerOpen(channel, op);  // this op tripped the breaker
+    }
     if (attempt >= budget) {
       attempts_per_op_.Record(static_cast<uint64_t>(attempt) + 1);
       co_return false;
@@ -69,13 +88,16 @@ Task<bool> ResilienceManager::OneOp(bool is_write, int actor, uint64_t vpn, int 
     backoff_ns_.Record(static_cast<uint64_t>(b));
     TraceEmit(TraceEventType::kRdmaRetry, actor, vpn, kTraceNoFrame,
               static_cast<uint64_t>(attempt) + 1);
+    SimTime b0 = Engine::current().now();
     co_await Delay{b};
+    SpanLeafUnder(op, SpanKind::kRetryBackoff, b0, Engine::current().now(), actor, vpn,
+                  {}, static_cast<uint64_t>(b));
   }
 }
 
 Task<RemoteOpStatus> ResilienceManager::ReadPage(int core, uint64_t vpn,
-                                                 bool allow_poison) {
-  bool ok = co_await OneOp(/*is_write=*/false, core, vpn, opt_.retry.max_retries);
+                                                 bool allow_poison, SpanHandle op) {
+  bool ok = co_await OneOp(/*is_write=*/false, core, vpn, opt_.retry.max_retries, op);
   if (ok) co_return RemoteOpStatus::kOk;
   ++reads_failed_;
   if (!allow_poison) co_return RemoteOpStatus::kAbandoned;
@@ -89,9 +111,14 @@ Task<RemoteOpStatus> ResilienceManager::ReadPage(int core, uint64_t vpn,
   co_return RemoteOpStatus::kPoisoned;
 }
 
-Task<size_t> ResilienceManager::WritePages(int evictor_id, size_t n) {
+Task<size_t> ResilienceManager::WritePages(int evictor_id, size_t n, SpanHandle op) {
   if (n == 0) co_return 0;
+  SimTime g0 = Engine::current().now();
   co_await write_breaker_.Admit();
+  if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+    st->LeafUnder(op, SpanKind::kBreakerWait, g0, Engine::current().now(), evictor_id,
+                  kTraceNoPage, st->breaker_open(1));
+  }
   // Post the whole batch back-to-back (matching the legacy path's channel
   // utilization), then await in FIFO order; only failures pay retry latency.
   std::vector<std::shared_ptr<RdmaCompletion>> ops;
@@ -99,16 +126,25 @@ Task<size_t> ResilienceManager::WritePages(int evictor_id, size_t n) {
   for (size_t i = 0; i < n; ++i) ops.push_back(nic_.PostWrite(kPageSize));
   size_t lost = 0;
   for (auto& c : ops) {
+    SimTime w0 = Engine::current().now();
     OpOutcome out = co_await AwaitWithDeadline(c, evictor_id, kTraceNoPage);
+    // FIFO waits behind already-completed ops are zero-duration and skipped.
+    SpanLeafUnder(op, SpanKind::kRdmaWrite, w0, Engine::current().now(), evictor_id,
+                  kTraceNoPage, {}, 1);
     if (out == OpOutcome::kOk) {
       write_breaker_.OnSuccess();
       continue;
     }
+    bool was_degraded = write_breaker_.degraded();
     write_breaker_.OnFailure();
+    if (SpanTracer* st = SpanTracer::Get();
+        st != nullptr && !was_degraded && write_breaker_.degraded()) {
+      st->NoteBreakerOpen(1, op);
+    }
     ++retries_;
     TraceEmit(TraceEventType::kRdmaRetry, evictor_id, kTraceNoPage, kTraceNoFrame, 1);
     if (!co_await OneOp(/*is_write=*/true, evictor_id, kTraceNoPage,
-                        std::max(0, opt_.retry.max_retries - 1))) {
+                        std::max(0, opt_.retry.max_retries - 1), op)) {
       ++lost;
     }
   }
@@ -122,16 +158,21 @@ Task<size_t> ResilienceManager::WritePages(int evictor_id, size_t n) {
 }
 
 Task<> ResilienceManager::TicketMain(int evictor_id, size_t n,
-                                     std::shared_ptr<WritebackTicket> t) {
-  t->lost = co_await WritePages(evictor_id, n);
+                                     std::shared_ptr<WritebackTicket> t,
+                                     SpanHandle batch_span) {
+  // The owning batch's span rides the call so WritePages' leaves parent
+  // correctly. The batch closes only after `done` fires, so the handle
+  // outlives every leaf emitted here.
+  t->lost = co_await WritePages(evictor_id, n, batch_span);
   t->done.Set();
 }
 
 std::shared_ptr<WritebackTicket> ResilienceManager::SpawnWritePages(int evictor_id,
-                                                                    size_t n) {
+                                                                    size_t n,
+                                                                    SpanHandle batch_span) {
   auto t = std::make_shared<WritebackTicket>();
   t->pages = n;
-  Engine::current().Spawn(TicketMain(evictor_id, n, t));
+  Engine::current().Spawn(TicketMain(evictor_id, n, t, batch_span));
   return t;
 }
 
@@ -144,7 +185,15 @@ Task<> ResilienceManager::EvictionBackpressure(int evictor_id) {
   ++backpressure_waits_;
   TraceEmit(TraceEventType::kEvictBackpressure, evictor_id, kTraceNoPage, kTraceNoFrame,
             static_cast<uint64_t>(wait));
+  SimTime b0 = Engine::current().now();
   co_await Delay{wait};
+  if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+    // No operation is open here (the pause sits between batches), so the
+    // leaf becomes a self-contained backpressure root op, linked to the
+    // write op that opened the breaker.
+    st->Leaf(SpanKind::kBackpressure, b0, evictor_id, kTraceNoPage, st->breaker_open(1),
+             static_cast<uint64_t>(wait));
+  }
 }
 
 void ResilienceManager::NotePrefetchThrottle(int core, uint64_t vpn) {

@@ -18,6 +18,7 @@
 #include "src/sim/stats.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/spans/spans.h"
 
 namespace magesim {
 
@@ -58,16 +59,23 @@ class ResilienceManager {
   // One remote page read on the fault path. Retries under the read breaker;
   // on exhaustion applies the terminal policy (`allow_poison` = demand fault)
   // or reports kAbandoned (speculative prefetch: caller unwinds the frame).
-  Task<RemoteOpStatus> ReadPage(int core, uint64_t vpn, bool allow_poison);
+  // `op` is the requesting operation's span; the per-attempt rdma/retry/
+  // backoff/breaker leaves attach to it.
+  Task<RemoteOpStatus> ReadPage(int core, uint64_t vpn, bool allow_poison,
+                                SpanHandle op = {});
 
   // `n` dirty-page writebacks posted back-to-back (keeping the channel as
   // full as the legacy path), then awaited in FIFO order with per-op
   // deadlines; failed ops are retried individually. Returns pages lost for
   // good — their frames are still freed, so eviction never deadlocks.
-  Task<size_t> WritePages(int evictor_id, size_t n);
+  // `op` is the owning batch's span.
+  Task<size_t> WritePages(int evictor_id, size_t n, SpanHandle op = {});
 
-  // Background variant for the pipelined evictor.
-  std::shared_ptr<WritebackTicket> SpawnWritePages(int evictor_id, size_t n);
+  // Background variant for the pipelined evictor. `batch_span` (may be
+  // null) is passed through to WritePages in the spawned task, so the
+  // per-op rdma/retry/backoff leaves land under the owning eviction batch.
+  std::shared_ptr<WritebackTicket> SpawnWritePages(int evictor_id, size_t n,
+                                                   SpanHandle batch_span = {});
 
   bool read_degraded() const { return read_breaker_.degraded(); }
   bool write_degraded() const { return write_breaker_.degraded(); }
@@ -113,9 +121,10 @@ class ResilienceManager {
   static Task<> DeadlineWatcher(SimTime delay, std::shared_ptr<OpWait> w);
 
   // Full retry loop for one op; true on success. `budget` = extra attempts
-  // allowed after the first.
-  Task<bool> OneOp(bool is_write, int actor, uint64_t vpn, int budget);
-  Task<> TicketMain(int evictor_id, size_t n, std::shared_ptr<WritebackTicket> t);
+  // allowed after the first. Leaves attach to `op`.
+  Task<bool> OneOp(bool is_write, int actor, uint64_t vpn, int budget, SpanHandle op);
+  Task<> TicketMain(int evictor_id, size_t n, std::shared_ptr<WritebackTicket> t,
+                    SpanHandle batch_span);
   void FailRun(const char* why);
 
   RdmaNic& nic_;

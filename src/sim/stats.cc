@@ -26,6 +26,9 @@ int Histogram::BucketFor(int64_t value, int* sub) {
 int64_t Histogram::BucketUpperBound(int bucket, int sub) {
   if (bucket == 0) return sub;
   int log2 = bucket + 3;
+  // Buckets whose base is >= 2^63 (top of the table, unreachable by Record)
+  // would shift out of uint64_t range; saturate instead.
+  if (log2 >= 63) return std::numeric_limits<int64_t>::max();
   int shift = log2 - 4;
   uint64_t base = 1ULL << log2;
   // The top bucket's upper bound overflows int64_t (base 2^63); saturate so
@@ -35,6 +38,18 @@ int64_t Histogram::BucketUpperBound(int bucket, int sub) {
     return std::numeric_limits<int64_t>::max();
   }
   return static_cast<int64_t>(bound);
+}
+
+int Histogram::SlotFor(int64_t value) {
+  int sub = 0;
+  int bucket = BucketFor(value, &sub);
+  return bucket * kSubBuckets + sub;
+}
+
+int64_t Histogram::SlotLowerBound(int slot) {
+  if (slot < 0) slot = 0;
+  if (slot >= kNumSlots) slot = kNumSlots - 1;
+  return BucketLowerBound(slot / kSubBuckets, slot % kSubBuckets);
 }
 
 void Histogram::Record(int64_t value) { RecordN(value, 1); }
@@ -58,6 +73,8 @@ void Histogram::RecordN(int64_t value, uint64_t n) {
 int64_t Histogram::BucketLowerBound(int bucket, int sub) {
   if (bucket == 0) return sub;
   int log2 = bucket + 3;
+  // See BucketUpperBound: the top buckets saturate rather than overflow.
+  if (log2 >= 63) return std::numeric_limits<int64_t>::max();
   int shift = log2 - 4;
   uint64_t lower = (1ULL << log2) + (static_cast<uint64_t>(sub) << shift);
   if (lower > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
@@ -112,10 +129,11 @@ void Histogram::Reset() { *this = Histogram(); }
 
 std::string Histogram::Summary() const {
   char buf[160];
-  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus",
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus p99.9=%.2fus max=%.2fus",
                 static_cast<unsigned long long>(count_), mean() / 1000.0,
                 Percentile(50) / 1000.0, Percentile(99) / 1000.0,
-                static_cast<double>(max_) / 1000.0);
+                Percentile(99.9) / 1000.0, static_cast<double>(max_) / 1000.0);
   return buf;
 }
 

@@ -20,6 +20,14 @@ namespace magesim {
 class Histogram {
  public:
   static constexpr int kSubBuckets = 16;
+  static constexpr int kNumSlots = 64 * kSubBuckets;
+
+  // Dense index of the sub-bucket `value` records into, in [0, kNumSlots).
+  // Slot order is value order, so conditioning aggregates on a latency slot
+  // (span tail bands) composes with Percentile on the same histogram.
+  static int SlotFor(int64_t value);
+  // Smallest value that maps to `slot` (inverse of SlotFor, saturating).
+  static int64_t SlotLowerBound(int slot);
 
   void Record(int64_t value);
   void RecordN(int64_t value, uint64_t count);
@@ -39,7 +47,7 @@ class Histogram {
   void Merge(const Histogram& other);
   void Reset();
 
-  std::string Summary() const;  // "n=.. mean=.. p50=.. p99=.. max=.." (µs)
+  std::string Summary() const;  // "n=.. mean=.. p50=.. p99=.. p99.9=.. max=.." (µs)
 
  private:
   static int BucketFor(int64_t value, int* sub);

@@ -163,6 +163,12 @@ void ChromeTraceSink::Emit(const TraceEvent& e, char phase, const char* name, in
   out_ << buf;
 }
 
+void ChromeTraceSink::AppendRaw(const char* json_object) {
+  if (!first_) out_ << ",";
+  first_ = false;
+  out_ << "\n" << json_object;
+}
+
 void ChromeTraceSink::OnEvent(const TraceEvent& e) {
   int tid = e.actor >= 0 ? e.actor : 999;  // 999 = un-attributed (NIC channels)
   switch (e.type) {

@@ -155,6 +155,11 @@ class ChromeTraceSink : public TraceSink {
   void Flush() override;
   bool ok() const { return out_.good(); }
 
+  // Appends one pre-rendered trace_event object (no surrounding comma or
+  // newline) into the array, sharing the comma state with Emit. Lets the
+  // span tracer ride this sink with slices/flow arrows of its own.
+  void AppendRaw(const char* json_object);
+
  private:
   void Emit(const TraceEvent& e, char phase, const char* name, int tid);
 

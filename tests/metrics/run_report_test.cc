@@ -162,7 +162,7 @@ TEST(RunReportTest, SameSeedRunsAreByteIdenticalModuloWallClock) {
 
 TEST(RunReportTest, ReportHasSchemaVersionAndSections) {
   ReportRun r = RunReportedMachine(3);
-  EXPECT_NE(r.json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(r.json.find("\"schema_version\":2"), std::string::npos);
   for (const char* key : {"\"wall_clock\":", "\"config\":", "\"run\":", "\"counters\":",
                           "\"gauges\":", "\"histograms\":", "\"breakdowns\":",
                           "\"profiler\":", "\"timeseries\":", "\"lock_wait\":"}) {

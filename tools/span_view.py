@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Summarize a magesim span export (--spans-out JSONL).
+
+Rebuilds each operation's span tree, recomputes its critical path with the
+same cursor sweep the simulator uses (src/spans/spans.cc), and prints the
+top-K slowest operations with per-phase critical-path percentages:
+
+  ./tools/span_view.py spans.jsonl
+  ./tools/span_view.py spans.jsonl --op=fault --tenant=2 --top=20
+  ./tools/span_view.py spans.jsonl --phases          # aggregate view only
+
+Stdlib-only; reads stdin when no file is given.
+"""
+
+import argparse
+import json
+import os
+import sys
+from collections import defaultdict
+
+
+def load_ops(stream):
+    """Parse JSONL spans into one dict per operation: root + children by id."""
+    spans = {}
+    roots = []
+    for lineno, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            s = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"warning: line {lineno}: {e}", file=sys.stderr)
+            continue
+        s["children"] = []
+        spans[s["id"]] = s
+        if "parent" not in s:
+            roots.append(s)
+    orphans = 0
+    for s in spans.values():
+        p = s.get("parent")
+        if p is None:
+            continue
+        parent = spans.get(p)
+        if parent is None:
+            orphans += 1
+            continue
+        parent["children"].append(s)
+    if orphans:
+        print(f"warning: {orphans} spans reference a missing parent", file=sys.stderr)
+    for s in spans.values():
+        s["children"].sort(key=lambda c: (c["t0"], c["id"]))
+    return roots
+
+
+def critical_path(span, out):
+    """Cursor sweep: charge every ns of [t0, t1] to exactly one span kind.
+
+    Gaps between children (and the tail) go to the parent's own kind; a child
+    starting at or after the cursor is recursed into; a child the cursor
+    already entered contributes only its clipped remainder; a child the
+    cursor passed entirely was concurrent with an earlier sibling and is
+    skipped. Mirrors ComputeCriticalPath in src/spans/spans.cc.
+    """
+    cursor = span["t0"]
+    for c in span["children"]:
+        if c["t1"] <= cursor:
+            continue  # fully overlapped: not on the critical path
+        if c["t0"] >= cursor:
+            out[span["kind"]] += c["t0"] - cursor
+            critical_path(c, out)
+        else:
+            out[c["kind"]] += c["t1"] - cursor
+        cursor = c["t1"]
+    if span["t1"] > cursor:
+        out[span["kind"]] += span["t1"] - cursor
+
+
+def fmt_us(ns):
+    return f"{ns / 1000.0:.1f}us"
+
+
+def describe(root, phases):
+    latency = root["t1"] - root["t0"]
+    total = sum(phases.values()) or 1
+    parts = ", ".join(
+        f"{k} {100.0 * v / total:.0f}%"
+        for k, v in sorted(phases.items(), key=lambda kv: -kv[1])
+        if v > 0
+    )
+    where = f"page={root['page']}" if "page" in root else f"actor={root['actor']}"
+    tenant = f" tenant={root['tenant']}" if "tenant" in root else ""
+    return (
+        f"  #{root['id']:<10} {root['op']:<11} {fmt_us(latency):>10}  "
+        f"{where}{tenant}  [{parts}]"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", nargs="?", help="span JSONL (default: stdin)")
+    ap.add_argument("--op", help="only this root op kind (fault, evict_batch, ...)")
+    ap.add_argument("--tenant", type=int, help="only ops charged to this tenant")
+    ap.add_argument("--top", type=int, default=10, help="slowest ops to show")
+    ap.add_argument("--phases", action="store_true",
+                    help="print only the aggregate per-op-kind phase table")
+    args = ap.parse_args()
+
+    stream = open(args.file) if args.file else sys.stdin
+    with stream:
+        roots = load_ops(stream)
+
+    if args.op:
+        roots = [r for r in roots if r["op"] == args.op]
+    if args.tenant is not None:
+        roots = [r for r in roots if r.get("tenant") == args.tenant]
+    if not roots:
+        print("no matching operations")
+        return 1
+
+    # Aggregate critical-path attribution per root op kind.
+    agg = defaultdict(lambda: defaultdict(int))
+    counts = defaultdict(int)
+    lat_sum = defaultdict(int)
+    scored = []
+    for r in roots:
+        phases = defaultdict(int)
+        critical_path(r, phases)
+        counts[r["op"]] += 1
+        lat_sum[r["op"]] += r["t1"] - r["t0"]
+        for k, v in phases.items():
+            agg[r["op"]][k] += v
+        scored.append((r["t1"] - r["t0"], r["id"], r, phases))
+
+    print(f"{len(roots)} operations")
+    for op in sorted(agg):
+        total = sum(agg[op].values()) or 1
+        mean = lat_sum[op] / counts[op]
+        print(f"\n{op}: {counts[op]} ops, mean {fmt_us(mean)}; critical path:")
+        for k, v in sorted(agg[op].items(), key=lambda kv: -kv[1]):
+            print(f"  {k:<16} {100.0 * v / total:6.1f}%  {fmt_us(v)}")
+
+    if not args.phases:
+        print(f"\nslowest {min(args.top, len(scored))}:")
+        scored.sort(key=lambda s: (-s[0], s[1]))
+        for latency, _, r, phases in scored[: args.top]:
+            print(describe(r, phases))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report: not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
