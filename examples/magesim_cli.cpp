@@ -72,7 +72,8 @@ constexpr const char* kKnownFlags[] = {
     "check-interval", "check",          "analysis",      "metrics-out",
     "metrics-csv",    "metrics-prom",   "sample-interval-us",
     "progress",       "trace",          "trace-chrome",  "spans",
-    "spans-out",      "spans-top-k",    "spans-sample",
+    "spans-out",      "spans-top-k",    "spans-sample",  "fleet-nodes",
+    "fleet-replicas", "fleet-rebuild-gbps",
 };
 
 bool IsKnownFlag(const std::string& name) {
@@ -157,7 +158,8 @@ int Usage() {
                "                   [--progress] [--fault-plan=spec|@file]\n"
                "                   [--terminal=poison|fail] [--seed=N]\n"
                "                   [--spans] [--spans-out=spans.jsonl] [--spans-top-k=N]\n"
-               "                   [--spans-sample=N]\n"
+               "                   [--spans-sample=N] [--fleet-nodes=N]\n"
+               "                   [--fleet-replicas=K] [--fleet-rebuild-gbps=G]\n"
                "workloads: see --list-workloads (trace requires --trace-file)\n"
                "systems:   ideal hermit dilos magelnx magelib fastswap\n"
                "tenants:   --tenant=name:weight:limit[:soft]:qos=workload[/threads][,k=v...]\n");
@@ -240,6 +242,12 @@ int main(int argc, char** argv) {
   } else if (terminal != "poison") {
     return Usage();
   }
+  long fleet_nodes = std::atol(Get(args, "fleet-nodes", "0").c_str());
+  if (fleet_nodes > 0) opt.fleet.num_nodes = static_cast<int>(fleet_nodes);
+  long fleet_replicas = std::atol(Get(args, "fleet-replicas", "0").c_str());
+  if (fleet_replicas > 0) opt.fleet.replication = static_cast<int>(fleet_replicas);
+  double fleet_gbps = std::atof(Get(args, "fleet-rebuild-gbps", "0").c_str());
+  if (fleet_gbps > 0) opt.fleet.rebuild_gbps = fleet_gbps;
   long check_us = std::atol(Get(args, "check-interval", "0").c_str());
   if (check_us > 0) opt.check_interval = check_us * kMicrosecond;
   if (args.count("check") != 0) opt.check_final = true;
@@ -338,6 +346,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.breaker_opens),
                 static_cast<unsigned long long>(r.pages_poisoned),
                 static_cast<unsigned long long>(r.writebacks_lost));
+  }
+  if (machine.fleet() != nullptr) {
+    std::printf("fleet           nodes %llu x%d  degraded-reads %llu  lost %llu  "
+                "rebuilt %llu  pending %llu  silent-losses %llu\n",
+                static_cast<unsigned long long>(r.fleet_nodes), machine.fleet()->replication(),
+                static_cast<unsigned long long>(r.fleet_degraded_reads),
+                static_cast<unsigned long long>(r.fleet_slots_lost),
+                static_cast<unsigned long long>(r.fleet_slots_rebuilt),
+                static_cast<unsigned long long>(r.fleet_rebuild_pending),
+                static_cast<unsigned long long>(r.fleet_silent_losses));
   }
   if (machine.injector() != nullptr) {
     std::printf("injected        windows %llu drops %llu errors %llu crashes %llu\n",

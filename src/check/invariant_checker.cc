@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "src/analysis/lock_analyzer.h"
+#include "src/fleet/fleet.h"
+#include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
 #include "src/tenancy/memcg.h"
 
@@ -52,6 +54,7 @@ const char* ViolationClassName(ViolationClass c) {
     case ViolationClass::kStuckFault: return "stuck_fault";
     case ViolationClass::kLockQuiescence: return "lock_quiescence";
     case ViolationClass::kTenantCharge: return "tenant_charge";
+    case ViolationClass::kFleetReplica: return "fleet_replica";
     case ViolationClass::kNumClasses: break;
   }
   return "unknown";
@@ -273,7 +276,34 @@ size_t InvariantChecker::CheckNow() {
   }
 
   CheckTenantCharges();
+  CheckFleetReplicas();
 
+  return static_cast<size_t>(total_violations_ - before);
+}
+
+size_t InvariantChecker::CheckFleetReplicas() {
+  ResilienceManager* res = kernel_.resilience();
+  FleetManager* fleet = res != nullptr ? res->fleet() : nullptr;
+  if (fleet == nullptr) return 0;
+  uint64_t before = total_violations_;
+
+  PageTable& pt = kernel_.page_table();
+  for (uint64_t vpn = 0; vpn < pt.num_pages(); ++vpn) {
+    if (pt.At(vpn).present) continue;
+    uint64_t slot = kernel_.FleetSlotOf(vpn);
+    if (!fleet->HasLiveCopy(slot) && !fleet->IsLostReported(slot)) {
+      Add(ViolationClass::kFleetReplica, vpn, kTraceNoFrame,
+          Describe("vpn=%" PRIu64 " lives remotely in slot %" PRIu64
+                   " which has no live replica and was never surfaced as lost",
+                   vpn, slot));
+    }
+  }
+  uint64_t silent = fleet->CheckConsistency();
+  if (silent != 0) {
+    Add(ViolationClass::kFleetReplica, kTraceNoPage, kTraceNoFrame,
+        Describe("fleet replica table holds %" PRIu64
+                 " slot(s) with zero live copies and no loss report", silent));
+  }
   return static_cast<size_t>(total_violations_ - before);
 }
 

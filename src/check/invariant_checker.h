@@ -49,6 +49,7 @@ enum class ViolationClass : uint8_t {
   kStuckFault,         // (quiescent only) fault_in_flight never cleared
   kLockQuiescence,     // (quiescent only) a sim lock is still held at drain
   kTenantCharge,       // memcg charges out of sync with residency
+  kFleetReplica,       // fleet slot silently lost / unreachable remote page
   kNumClasses,
 };
 
@@ -96,6 +97,13 @@ class InvariantChecker {
   // charge counts equal each cgroup's usage, and the root usage equals total
   // resident pages. Runs as part of CheckNow; no-op without tenancy.
   size_t CheckTenantCharges();
+
+  // With a memory-server fleet attached, verifies the replica-safety rule:
+  // every non-present page (its data lives remotely) resolves to a slot with
+  // at least one live replica, or the slot has been surfaced as lost — and
+  // the fleet's own table contains no silently-lost slot. Runs as part of
+  // CheckNow; no-op without a fleet.
+  size_t CheckFleetReplicas();
 
   // When a LockAnalyzer is installed, verifies its lock state is quiescent
   // (no task still holds any sim lock). Runs as part of CheckQuiescent; no-op

@@ -94,6 +94,29 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
   bool reserved = memnode_->ReserveDirect(wss * kPageSize);
   assert(reserved);
   (void)reserved;
+
+  // Memory-server fleet: env overrides, then construction. Node 0 is the
+  // machine's classic NIC/memnode pair; the fleet owns servers 1..N-1.
+  if (const char* env = std::getenv("MAGESIM_FLEET_NODES")) {
+    options_.fleet.num_nodes = std::atoi(env);
+  }
+  if (const char* env = std::getenv("MAGESIM_FLEET_REPLICAS")) {
+    options_.fleet.replication = std::atoi(env);
+  }
+  if (const char* env = std::getenv("MAGESIM_FLEET_REBUILD_GBPS")) {
+    options_.fleet.rebuild_gbps = std::atof(env);
+  }
+  if (options_.fleet.num_nodes > 1) {
+    FleetManager::Options fo;
+    fo.num_nodes = std::min(options_.fleet.num_nodes, 16);
+    fo.replication = options_.fleet.replication;
+    fo.vnodes_per_node = options_.fleet.vnodes_per_node;
+    fo.seed = options_.seed;
+    fleet_ = std::make_unique<FleetManager>(*nic_, *memnode_, options_.hw, fo);
+    // The fleet data path (slot routing, per-server breakers) lives in the
+    // resilience layer.
+    options_.resilience_enabled = true;
+  }
   if (options_.tenancy.enabled && !options_.tenancy.tenants.empty()) {
     tenancy_ = std::make_unique<TenancyManager>(options_.tenancy, local_pages, wss,
                                                 options_.kernel.low_watermark,
@@ -113,8 +136,21 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
     if (!FaultPlan::Parse(plan_text, &plan, &err)) {
       throw std::invalid_argument("bad fault plan: " + err);
     }
+    // A plan naming a server outside the fleet is a configuration bug: reject
+    // it loudly instead of silently never firing the window.
+    int fleet_size = fleet_ != nullptr ? fleet_->num_nodes() : 1;
+    if (plan.max_target_node() >= fleet_size) {
+      throw std::invalid_argument(
+          "fault plan targets node " + std::to_string(plan.max_target_node()) +
+          " but the machine has " + std::to_string(fleet_size) +
+          " memory node(s)");
+    }
     injector_ = std::make_unique<FaultInjector>(std::move(plan), options_.seed);
-    nic_->SetFaultModel(injector_.get());
+    if (fleet_ != nullptr) {
+      fleet_->SetFaultModelAll(injector_.get());
+    } else {
+      nic_->SetFaultModel(injector_.get());
+    }
     tlb_->SetFaultModel(injector_.get());
     options_.resilience_enabled = true;
   }
@@ -122,6 +158,12 @@ FarMemoryMachine::FarMemoryMachine(Options options, Workload& workload)
     ResilienceOptions ro = options_.resilience;
     if (ro.seed == 0) ro.seed = options_.seed * 0x9e3779b97f4a7c15ULL + 1;
     resilience_ = std::make_unique<ResilienceManager>(*nic_, ro);
+    if (fleet_ != nullptr) {
+      resilience_->SetFleet(fleet_.get());
+      RebuildOptions rbo;
+      rbo.rebuild_gbps = options_.fleet.rebuild_gbps;
+      rebuild_ = std::make_unique<RebuildDriver>(*fleet_, rbo);
+    }
     kernel_->SetResilience(resilience_.get());
   }
 
@@ -283,11 +325,15 @@ Task<> TimeLimitTask(Engine& eng, SimTime limit) {
   eng.RequestShutdown();
 }
 
-Task<> WarmupResetTask(Kernel& k, RdmaNic& nic, TlbShootdownManager& tlb, SimTime at) {
+Task<> WarmupResetTask(Kernel& k, RdmaNic& nic, TlbShootdownManager& tlb, FleetManager* fleet,
+                       SimTime at) {
   co_await Delay{at};
   k.ResetMeasurement();
   nic.ResetStats();
   tlb.ResetStats();
+  if (fleet != nullptr) {
+    for (int i = 1; i < fleet->num_nodes(); ++i) fleet->nic(i).ResetStats();
+  }
 }
 
 }  // namespace
@@ -306,11 +352,30 @@ RunResult FarMemoryMachine::Run() {
     engine_->Spawn(TimeLimitTask(*engine_, options_.time_limit));
   }
   if (options_.stats_warmup > 0) {
-    engine_->Spawn(WarmupResetTask(*kernel_, *nic_, *tlb_, options_.stats_warmup));
+    engine_->Spawn(
+        WarmupResetTask(*kernel_, *nic_, *tlb_, fleet_.get(), options_.stats_warmup));
   }
   kernel_->Start(threads);
   if (injector_ != nullptr) {
-    injector_->Start(*engine_, memnode_.get());
+    if (fleet_ != nullptr) {
+      // Crash/recover windows flip the targeted server and drive the fleet's
+      // replica table (degraded reads + repair queueing) via the listener.
+      injector_->SetAvailabilityListener([this](int node, bool up) {
+        if (up) {
+          fleet_->OnNodeRecover(node);
+        } else {
+          fleet_->OnNodeCrash(node);
+        }
+      });
+      std::vector<MemoryNode*> nodes;
+      for (int i = 0; i < fleet_->num_nodes(); ++i) nodes.push_back(&fleet_->node(i));
+      injector_->Start(*engine_, std::move(nodes));
+    } else {
+      injector_->Start(*engine_, memnode_.get());
+    }
+  }
+  if (rebuild_ != nullptr) {
+    rebuild_->Start(*engine_);
   }
   if (checker_ != nullptr && options_.check_interval > 0) {
     engine_->Spawn(checker_->PeriodicMain(options_.check_interval));
@@ -351,10 +416,18 @@ RunResult FarMemoryMachine::Run() {
   r.fault_latency = ks.fault_latency;
   r.fault_breakdown = ks.fault_breakdown;
   r.sync_evict_latency = ks.sync_evict_latency;
+  uint64_t nic_bytes_read = nic_->bytes_read();
+  uint64_t nic_bytes_written = nic_->bytes_written();
+  if (fleet_ != nullptr) {
+    for (int i = 1; i < fleet_->num_nodes(); ++i) {
+      nic_bytes_read += fleet_->nic(i).bytes_read();
+      nic_bytes_written += fleet_->nic(i).bytes_written();
+    }
+  }
   r.nic_read_gbps =
-      static_cast<double>(nic_->bytes_read()) * 8.0 / static_cast<double>(measured_ns);
+      static_cast<double>(nic_bytes_read) * 8.0 / static_cast<double>(measured_ns);
   r.nic_write_gbps =
-      static_cast<double>(nic_->bytes_written()) * 8.0 / static_cast<double>(measured_ns);
+      static_cast<double>(nic_bytes_written) * 8.0 / static_cast<double>(measured_ns);
   r.tlb_shootdown_latency = tlb_->shootdown_latency();
   r.ipi_delivery_latency = tlb_->ipi_delivery_latency();
   r.ipis_sent = tlb_->ipis_sent();
@@ -380,7 +453,7 @@ RunResult FarMemoryMachine::Run() {
   if (resilience_ != nullptr) {
     r.rdma_retries = resilience_->retries();
     r.rdma_timeouts = resilience_->timeouts();
-    r.breaker_opens = resilience_->read_breaker().opens() + resilience_->write_breaker().opens();
+    r.breaker_opens = resilience_->breaker_opens_total();
     r.pages_poisoned = resilience_->pages_poisoned();
     r.writebacks_lost = resilience_->writebacks_lost();
     r.prefetch_throttles = resilience_->prefetch_throttles();
@@ -391,7 +464,17 @@ RunResult FarMemoryMachine::Run() {
     r.injected_drops = injector_->drops_injected();
     r.injected_errors = injector_->errors_injected();
     r.fault_windows = injector_->windows_opened();
-    r.memnode_crashes = memnode_->crash_episodes();
+    r.memnode_crashes =
+        fleet_ != nullptr ? fleet_->crash_episodes() : memnode_->crash_episodes();
+  }
+  if (fleet_ != nullptr) {
+    r.fleet_nodes = static_cast<uint64_t>(fleet_->num_nodes());
+    r.fleet_degraded_reads = fleet_->degraded_reads();
+    r.fleet_slots_lost = fleet_->slots_lost();
+    r.fleet_repairs_queued = fleet_->repairs_queued();
+    r.fleet_slots_rebuilt = fleet_->slots_rebuilt();
+    r.fleet_rebuild_pending = static_cast<uint64_t>(fleet_->rebuild_pending());
+    r.fleet_silent_losses = fleet_->CheckConsistency();
   }
   if (tenancy_ != nullptr) {
     for (int t = 0; t < tenancy_->num_tenants(); ++t) {
@@ -485,6 +568,28 @@ void FarMemoryMachine::PublishMetrics(const RunResult& r) {
         .Set(static_cast<uint64_t>(resilience_->write_breaker().time_degraded_ns(end_time_)));
     m.Hist("resilience.backoff_ns").histogram().Merge(resilience_->backoff_ns());
     m.Hist("resilience.attempts_per_op").histogram().Merge(resilience_->attempts_per_op());
+  }
+  if (fleet_ != nullptr) {
+    m.Counter("fleet.nodes").Set(r.fleet_nodes);
+    m.Counter("fleet.replication").Set(static_cast<uint64_t>(fleet_->replication()));
+    m.Counter("fleet.node.crash_episodes").Set(fleet_->crash_episodes());
+    m.Counter("fleet.degraded_reads").Set(r.fleet_degraded_reads);
+    m.Counter("fleet.slots_lost").Set(r.fleet_slots_lost);
+    m.Counter("fleet.repairs_queued").Set(r.fleet_repairs_queued);
+    m.Counter("fleet.slots_rebuilt").Set(r.fleet_slots_rebuilt);
+    m.Counter("fleet.rebuild_pending").Set(r.fleet_rebuild_pending);
+    m.Counter("fleet.silent_losses").Set(r.fleet_silent_losses);
+    if (rebuild_ != nullptr) {
+      m.Counter("fleet.rebuild_bursts").Set(rebuild_->bursts());
+      m.Counter("fleet.rebuild_pages").Set(rebuild_->pages_rebuilt());
+      m.Counter("fleet.repair_failures").Set(rebuild_->repair_failures());
+    }
+    for (int i = 0; i < fleet_->num_nodes(); ++i) {
+      std::string p = "fleet.node" + std::to_string(i) + ".";
+      m.Counter(p + "crash_episodes").Set(fleet_->node(i).crash_episodes());
+      m.Counter(p + "bytes_read").Set(fleet_->nic(i).bytes_read());
+      m.Counter(p + "bytes_written").Set(fleet_->nic(i).bytes_written());
+    }
   }
   if (injector_ != nullptr) {
     m.Counter("inject.drops").Set(r.injected_drops);
@@ -584,6 +689,21 @@ std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
   w.KV("analysis", analyzer_ != nullptr);
   w.KV("spans", spans_ != nullptr);
   w.EndObject();
+
+  if (fleet_ != nullptr) {
+    w.Key("fleet");
+    w.BeginObject();
+    w.KV("nodes", fleet_->num_nodes());
+    w.KV("replication", fleet_->replication());
+    w.KV("placement_fingerprint", fleet_->placement().Fingerprint());
+    w.KV("degraded_reads", r.fleet_degraded_reads);
+    w.KV("slots_lost", r.fleet_slots_lost);
+    w.KV("repairs_queued", r.fleet_repairs_queued);
+    w.KV("slots_rebuilt", r.fleet_slots_rebuilt);
+    w.KV("rebuild_pending", r.fleet_rebuild_pending);
+    w.KV("silent_losses", r.fleet_silent_losses);
+    w.EndObject();
+  }
 
   w.Key("run");
   w.BeginObject();

@@ -18,6 +18,7 @@
 
 #include "src/analysis/lock_analyzer.h"
 #include "src/check/invariant_checker.h"
+#include "src/fleet/fleet.h"
 #include "src/hw/memnode.h"
 #include "src/metrics/metrics.h"
 #include "src/metrics/profiler.h"
@@ -25,6 +26,7 @@
 #include "src/paging/kernel.h"
 #include "src/paging/kernels.h"
 #include "src/resilience/fault_injector.h"
+#include "src/resilience/rebuild.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/spans/spans.h"
 #include "src/tenancy/memcg.h"
@@ -114,6 +116,15 @@ struct RunResult {
   uint64_t memnode_crashes = 0;
   bool aborted = false;          // TerminalPolicy::kFailRun tripped
   std::string abort_reason;
+
+  // Memory-server fleet (zero unless Options::fleet.num_nodes > 1).
+  uint64_t fleet_nodes = 0;           // 0 = no fleet
+  uint64_t fleet_degraded_reads = 0;  // reads served off the placement primary
+  uint64_t fleet_slots_lost = 0;      // slots surfaced with zero live replicas
+  uint64_t fleet_repairs_queued = 0;
+  uint64_t fleet_slots_rebuilt = 0;   // replica copies restored by rebuild
+  uint64_t fleet_rebuild_pending = 0; // repair backlog at end of run
+  uint64_t fleet_silent_losses = 0;   // CheckConsistency() at end — must be 0
 
   // Per-tenant results, in spec order (empty without tenancy).
   std::vector<TenantRunResult> tenants;
@@ -210,6 +221,21 @@ class FarMemoryMachine {
     // stream from Options::seed.
     ResilienceOptions resilience;
 
+    // Memory-server fleet: shard the far side over `num_nodes` servers with
+    // `replication`-way replicated slots and a background rebuild driver.
+    // num_nodes > 1 force-enables the resilient data path (fleet routing
+    // lives there); num_nodes == 1 (default) is the classic single-node
+    // machine, byte-identical to builds without the fleet subsystem.
+    // Environment overrides: MAGESIM_FLEET_NODES, MAGESIM_FLEET_REPLICAS,
+    // MAGESIM_FLEET_REBUILD_GBPS.
+    struct FleetConfig {
+      int num_nodes = 1;       // clamped to [1, 16]
+      int replication = 2;     // clamped to [1, min(num_nodes, kMaxReplicas)]
+      int vnodes_per_node = 64;
+      double rebuild_gbps = 10.0;  // background re-replication pacing
+    };
+    FleetConfig fleet;
+
     // Multi-tenant memory control groups. When enabled with a non-empty
     // tenant list, the machine *replaces* the workload passed to the
     // constructor with a MultiTenantWorkload built from the specs, attaches
@@ -245,6 +271,9 @@ class FarMemoryMachine {
   ResilienceManager* resilience() { return resilience_.get(); }
   FaultInjector* injector() { return injector_.get(); }
   MemoryNode& memnode() { return *memnode_; }
+  // Null unless Options::fleet.num_nodes > 1 (or the env overrides said so).
+  FleetManager* fleet() { return fleet_.get(); }
+  RebuildDriver* rebuild() { return rebuild_.get(); }
   // Null unless metrics were enabled via Options or MAGESIM_METRICS_*.
   MetricsRegistry* metrics() { return metrics_.get(); }
   // Null unless spans were enabled via Options or MAGESIM_SPANS*.
@@ -273,8 +302,10 @@ class FarMemoryMachine {
   std::unique_ptr<MemoryNode> memnode_;
   std::unique_ptr<TenancyManager> tenancy_;  // destroyed after kernel_
   std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<FleetManager> fleet_;  // null for single-node machines
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<ResilienceManager> resilience_;
+  std::unique_ptr<RebuildDriver> rebuild_;  // fleet-mode only
   // Recent-event window feeding violation reports; registered with the
   // installed Tracer (if any) for the duration of the run.
   std::unique_ptr<TraceRingBuffer> trace_ring_;

@@ -1,0 +1,210 @@
+#include "src/fleet/fleet.h"
+
+#include "src/trace/trace.h"
+
+namespace magesim {
+
+FleetManager::FleetManager(RdmaNic& nic0, MemoryNode& node0,
+                           const MachineParams& params, const Options& opt)
+    : placement_(opt.seed, opt.num_nodes, opt.replication,
+                 opt.vnodes_per_node) {
+  int n = placement_.num_nodes();
+  nodes_.push_back(&node0);
+  nics_.push_back(&nic0);
+  for (int i = 1; i < n; ++i) {
+    owned_nodes_.push_back(std::make_unique<MemoryNode>(
+        opt.capacity_bytes_per_node != 0 ? opt.capacity_bytes_per_node
+                                         : node0.capacity_bytes(),
+        i));
+    owned_nodes_.back()->RegisterSetup();
+    owned_nics_.push_back(std::make_unique<RdmaNic>(params, i));
+    nodes_.push_back(owned_nodes_.back().get());
+    nics_.push_back(owned_nics_.back().get());
+  }
+  live_mask_ = static_cast<uint16_t>((1u << n) - 1);
+}
+
+void FleetManager::SetFaultModelAll(HwFaultModel* model) {
+  for (RdmaNic* nic : nics_) nic->SetFaultModel(model);
+}
+
+void FleetManager::EnsureSlot(uint64_t slot) {
+  if (slot >= copies_.size()) {
+    copies_.resize(slot + 1, 0);
+    lost_.resize(slot + 1, 0);
+    queued_.resize(slot + 1, 0);
+  }
+}
+
+void FleetManager::PrepopulateSlot(uint64_t slot) {
+  EnsureSlot(slot);
+  copies_[slot] = placement_.ReplicasOf(slot).Mask();
+}
+
+FleetManager::ReadTarget FleetManager::ReadTargetFor(uint64_t slot,
+                                                     uint16_t exclude_mask) const {
+  ReadTarget t;
+  if (slot >= copies_.size()) return t;
+  uint16_t held =
+      static_cast<uint16_t>(copies_[slot] & live_mask_ & ~exclude_mask);
+  ReplicaSet desired = placement_.ReplicasOf(slot);
+  for (int i = 0; i < desired.count; ++i) {
+    int n = desired.node[i];
+    if ((held & (1u << n)) != 0) {
+      t.node = n;
+      t.degraded = i != 0;  // not the placement primary
+      return t;
+    }
+  }
+  // No live desired holder; any surviving copy (mid-rebuild leftovers).
+  for (int n = 0; n < num_nodes(); ++n) {
+    if ((held & (1u << n)) != 0) {
+      t.node = n;
+      t.degraded = true;
+      return t;
+    }
+  }
+  return t;  // node = -1: the data is gone
+}
+
+ReplicaSet FleetManager::WriteTargetsFor(uint64_t slot) const {
+  ReplicaSet desired = placement_.ReplicasOf(slot);
+  ReplicaSet out;
+  for (int i = 0; i < desired.count; ++i) {
+    if (NodeLive(desired.node[i])) out.node[out.count++] = desired.node[i];
+  }
+  return out;
+}
+
+void FleetManager::CommitWrite(uint64_t slot, uint16_t acked_mask) {
+  EnsureSlot(slot);
+  acked_mask &= live_mask_;  // acks from a server that died since don't count
+  copies_[slot] = acked_mask;
+  if (acked_mask == 0) {
+    if (lost_[slot] == 0) {
+      lost_[slot] = 1;
+      ++slots_lost_;
+      TraceEmit(TraceEventType::kFleetSlotLost, -1, slot);
+    }
+    return;
+  }
+  lost_[slot] = 0;
+  if (RebuildTargetFor(slot) >= 0) EnqueueRepair(slot);
+}
+
+bool FleetManager::HasLiveCopy(uint64_t slot) const {
+  return slot < copies_.size() && (copies_[slot] & live_mask_) != 0;
+}
+
+bool FleetManager::IsLostReported(uint64_t slot) const {
+  return slot < lost_.size() && lost_[slot] != 0;
+}
+
+uint16_t FleetManager::copies(uint64_t slot) const {
+  return slot < copies_.size() ? copies_[slot] : 0;
+}
+
+void FleetManager::NoteDegradedRead(uint64_t slot, int served_node,
+                                    int primary_node) {
+  ++degraded_reads_;
+  TraceEmit(TraceEventType::kFleetDegradedRead, served_node, slot, kTraceNoFrame,
+            static_cast<uint64_t>(primary_node));
+}
+
+void FleetManager::OnNodeCrash(int node) {
+  if (node < 0 || node >= num_nodes()) return;
+  live_mask_ &= static_cast<uint16_t>(~(1u << node));
+  uint16_t bit = static_cast<uint16_t>(1u << node);
+  for (uint64_t slot = 0; slot < copies_.size(); ++slot) {
+    if ((copies_[slot] & bit) == 0) continue;
+    copies_[slot] = static_cast<uint16_t>(copies_[slot] & ~bit);
+    if ((copies_[slot] & live_mask_) == 0) {
+      // Every surviving byte of this slot is gone: surface it, never drop it
+      // silently. (A later successful rewrite of resident data clears this.)
+      if (lost_[slot] == 0) {
+        lost_[slot] = 1;
+        ++slots_lost_;
+        TraceEmit(TraceEventType::kFleetSlotLost, node, slot);
+      }
+    } else {
+      EnqueueRepair(slot);
+    }
+  }
+}
+
+void FleetManager::OnNodeRecover(int node) {
+  if (node < 0 || node >= num_nodes()) return;
+  live_mask_ |= static_cast<uint16_t>(1u << node);
+  // The server rejoins empty — re-replicate every slot that wants a copy on
+  // it (or anywhere else) back up to its desired set.
+  for (uint64_t slot = 0; slot < copies_.size(); ++slot) {
+    if ((copies_[slot] & live_mask_) == 0) continue;  // lost or never written
+    if (RebuildTargetFor(slot) >= 0) EnqueueRepair(slot);
+  }
+}
+
+void FleetManager::EnqueueRepair(uint64_t slot) {
+  EnsureSlot(slot);
+  if (queued_[slot] != 0) return;
+  queued_[slot] = 1;
+  ++repairs_queued_;
+  repair_queue_.push_back(slot);
+  TraceEmit(TraceEventType::kFleetRepairQueued, RebuildTargetFor(slot), slot);
+  repair_ready_.Set();
+}
+
+bool FleetManager::PopRepair(uint64_t* slot) {
+  if (repair_queue_.empty()) return false;
+  *slot = repair_queue_.front();
+  repair_queue_.pop_front();
+  queued_[*slot] = 0;
+  return true;
+}
+
+int FleetManager::RebuildTargetFor(uint64_t slot) const {
+  if (slot >= copies_.size() || (copies_[slot] & live_mask_) == 0) return -1;
+  ReplicaSet desired = placement_.ReplicasOf(slot);
+  for (int i = 0; i < desired.count; ++i) {
+    int n = desired.node[i];
+    if (NodeLive(n) && (copies_[slot] & (1u << n)) == 0) return n;
+  }
+  return -1;
+}
+
+int FleetManager::SourceFor(uint64_t slot) const {
+  if (slot >= copies_.size()) return -1;
+  ReplicaSet desired = placement_.ReplicasOf(slot);
+  for (int i = 0; i < desired.count; ++i) {
+    int n = desired.node[i];
+    if (NodeLive(n) && (copies_[slot] & (1u << n)) != 0) return n;
+  }
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (NodeLive(n) && (copies_[slot] & (1u << n)) != 0) return n;
+  }
+  return -1;
+}
+
+void FleetManager::AddCopy(uint64_t slot, int node) {
+  EnsureSlot(slot);
+  copies_[slot] |= static_cast<uint16_t>(1u << node);
+  lost_[slot] = 0;
+  ++slots_rebuilt_;
+}
+
+uint64_t FleetManager::crash_episodes() const {
+  uint64_t total = 0;
+  for (const MemoryNode* n : nodes_) total += n->crash_episodes();
+  return total;
+}
+
+uint64_t FleetManager::CheckConsistency() const {
+  uint64_t silent = 0;
+  for (uint64_t slot = 0; slot < copies_.size(); ++slot) {
+    bool ever_held = copies_[slot] != 0 || lost_[slot] != 0;
+    if (!ever_held) continue;
+    if ((copies_[slot] & live_mask_) == 0 && lost_[slot] == 0) ++silent;
+  }
+  return silent;
+}
+
+}  // namespace magesim

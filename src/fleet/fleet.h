@@ -1,0 +1,145 @@
+// Memory-server fleet: N MemoryNodes, each behind its own RdmaNic, a
+// deterministic PlacementMap assigning every swap slot a k-replica desired
+// set, and the live replica table the data path and the rebuild driver share.
+//
+// The fleet tracks, per slot, which servers currently hold a copy (a bitmask)
+// and whether the slot's data has been surfaced as lost. Reads resolve to the
+// first live desired holder (primary) or, degraded, to any surviving holder;
+// writes go to every live desired replica and commit the acknowledged mask.
+// A crash clears the crashed server's bit everywhere: slots left with no
+// copy are surfaced immediately (kFleetSlotLost — never silent), slots left
+// under-replicated are queued for the background rebuild driver. A recovered
+// server comes back *empty* (crash = data loss), so recovery also queues
+// re-replication toward it.
+//
+// Node 0 is the machine's classic single-node pair (owned by
+// FarMemoryMachine); the fleet owns servers 1..N-1. A machine without a
+// fleet touches none of this — single-node runs stay byte-identical.
+#ifndef MAGESIM_FLEET_FLEET_H_
+#define MAGESIM_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/fleet/placement.h"
+#include "src/hw/machine_params.h"
+#include "src/hw/memnode.h"
+#include "src/hw/rdma.h"
+#include "src/sim/sync.h"
+
+namespace magesim {
+
+class FleetManager {
+ public:
+  struct Options {
+    int num_nodes = 1;
+    int replication = 2;  // clamped to [1, min(num_nodes, kMaxReplicas)]
+    int vnodes_per_node = 64;
+    uint64_t seed = 1;
+    uint64_t capacity_bytes_per_node = 0;
+  };
+
+  // `nic0` / `node0` are the machine's existing node-0 hardware (not owned);
+  // servers 1..num_nodes-1 are created and owned here, each with the same
+  // MachineParams (a full-rate link per server).
+  FleetManager(RdmaNic& nic0, MemoryNode& node0, const MachineParams& params,
+               const Options& opt);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int replication() const { return placement_.replication(); }
+  MemoryNode& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+  RdmaNic& nic(int i) { return *nics_[static_cast<size_t>(i)]; }
+  const PlacementMap& placement() const { return placement_; }
+
+  // Wires the per-op fault model into every server's NIC.
+  void SetFaultModelAll(HwFaultModel* model);
+
+  // Marks `slot` as holding its full desired replica set (machine
+  // prepopulation: remote copies exist before the run starts).
+  void PrepopulateSlot(uint64_t slot);
+
+  // --- data-plane resolution ---
+  struct ReadTarget {
+    int node = -1;        // -1 = no live copy anywhere (unrecoverable)
+    bool degraded = false;  // served from a non-primary surviving replica
+  };
+  // `exclude_mask` skips servers that already failed this op (read failover).
+  ReadTarget ReadTargetFor(uint64_t slot, uint16_t exclude_mask = 0) const;
+  ReplicaSet DesiredReplicas(uint64_t slot) const {
+    return placement_.ReplicasOf(slot);
+  }
+  // Live desired replicas a writeback should target (desired order).
+  ReplicaSet WriteTargetsFor(uint64_t slot) const;
+  // Commits a writeback's acknowledged replica mask. Zero acks surfaces the
+  // slot as lost; a partial set queues repair toward the missing replicas.
+  void CommitWrite(uint64_t slot, uint16_t acked_mask);
+  bool HasLiveCopy(uint64_t slot) const;
+  bool IsLostReported(uint64_t slot) const;
+  uint16_t copies(uint64_t slot) const;
+  uint16_t live_mask() const { return live_mask_; }
+
+  // Degraded-read bookkeeping (called by the resilient read path once per
+  // read actually served off-primary): counter + kFleetDegradedRead.
+  void NoteDegradedRead(uint64_t slot, int served_node, int primary_node);
+
+  // --- crash / recover (driven by the FaultInjector's episode listener) ---
+  void OnNodeCrash(int node);
+  void OnNodeRecover(int node);
+
+  // --- rebuild queue (consumed by the RebuildDriver) ---
+  void EnqueueRepair(uint64_t slot);
+  bool PopRepair(uint64_t* slot);
+  size_t rebuild_pending() const { return repair_queue_.size(); }
+  SimEvent& repair_ready() { return repair_ready_; }
+  // First live desired replica missing a copy (-1 = fully placed or nothing
+  // live to rebuild toward) / a live holder to read the page from (-1 = data
+  // gone).
+  int RebuildTargetFor(uint64_t slot) const;
+  int SourceFor(uint64_t slot) const;
+  // Registers a re-replicated copy (clears any lost report on the slot).
+  void AddCopy(uint64_t slot, int node);
+
+  uint64_t slots_lost() const { return slots_lost_; }
+  uint64_t degraded_reads() const { return degraded_reads_; }
+  uint64_t repairs_queued() const { return repairs_queued_; }
+  uint64_t slots_rebuilt() const { return slots_rebuilt_; }
+  uint64_t crash_episodes() const;  // summed over all servers
+
+  // Replica-safety sweep for tests/invariants: every slot that ever held
+  // data either has a live copy or has been surfaced as lost. Returns the
+  // number of silently-lost slots (0 = safe).
+  uint64_t CheckConsistency() const;
+
+ private:
+  void EnsureSlot(uint64_t slot);
+  bool NodeLive(int node) const {
+    return (live_mask_ & (1u << node)) != 0;
+  }
+
+  PlacementMap placement_;
+  std::vector<MemoryNode*> nodes_;  // [0] borrowed, rest own via owned_*
+  std::vector<RdmaNic*> nics_;
+  std::vector<std::unique_ptr<MemoryNode>> owned_nodes_;
+  std::vector<std::unique_ptr<RdmaNic>> owned_nics_;
+
+  // copies_[slot] bit n set = server n holds the slot's current data.
+  // lost_[slot] = the slot's data became unreachable and was surfaced.
+  std::vector<uint16_t> copies_;
+  std::vector<uint8_t> lost_;
+  uint16_t live_mask_ = 0;
+
+  std::deque<uint64_t> repair_queue_;
+  std::vector<uint8_t> queued_;  // dedup: slot already in repair_queue_
+  SimEvent repair_ready_{"fleet-repair-ready"};
+
+  uint64_t slots_lost_ = 0;
+  uint64_t degraded_reads_ = 0;
+  uint64_t repairs_queued_ = 0;
+  uint64_t slots_rebuilt_ = 0;
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_FLEET_FLEET_H_

@@ -1,0 +1,66 @@
+// Deterministic slot placement for a memory-server fleet: a consistent-hash
+// ring over swap slots. Each server contributes `vnodes_per_node` virtual
+// points hashed from (seed, node, vnode); a slot's replica set is the first
+// `replication` distinct servers encountered walking the ring clockwise from
+// the slot's own hash. Same (seed, fleet size, replication, vnodes) =>
+// byte-identical map on every platform, so same-seed runs of a fleet machine
+// stay byte-identical. Adding a server moves only ~1/N of the slots.
+#ifndef MAGESIM_FLEET_PLACEMENT_H_
+#define MAGESIM_FLEET_PLACEMENT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace magesim {
+
+// Upper bound on replication factor, sized so a replica set fits in a
+// register-friendly struct and a per-slot copy set fits in a uint16_t mask.
+inline constexpr int kMaxReplicas = 8;
+
+struct ReplicaSet {
+  int count = 0;
+  std::array<int, kMaxReplicas> node{};
+
+  uint16_t Mask() const {
+    uint16_t m = 0;
+    for (int i = 0; i < count; ++i) m |= static_cast<uint16_t>(1u << node[i]);
+    return m;
+  }
+};
+
+class PlacementMap {
+ public:
+  // `replication` is clamped to [1, min(num_nodes, kMaxReplicas)].
+  PlacementMap(uint64_t seed, int num_nodes, int replication,
+               int vnodes_per_node = 64);
+
+  // Desired replica holders of `slot`, primary first. Liveness-independent:
+  // the map never changes at runtime, so rebuild always converges back to
+  // the same layout a fresh same-seed run would produce.
+  ReplicaSet ReplicasOf(uint64_t slot) const;
+  int PrimaryOf(uint64_t slot) const { return ReplicasOf(slot).node[0]; }
+
+  int num_nodes() const { return num_nodes_; }
+  int replication() const { return replication_; }
+  size_t ring_points() const { return ring_.size(); }
+
+  // FNV-1a over the ring — the determinism tests' map fingerprint.
+  uint64_t Fingerprint() const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int node;
+  };
+
+  uint64_t seed_;
+  int num_nodes_;
+  int replication_;
+  std::vector<Point> ring_;  // sorted by (hash, node)
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_FLEET_PLACEMENT_H_

@@ -21,8 +21,10 @@ class HwFaultModel {
  public:
   virtual ~HwFaultModel() = default;
 
-  // Consulted once per posted RDMA op, at post time.
-  virtual RdmaOpFate OnRdmaPost(bool is_write, SimTime now) = 0;
+  // Consulted once per posted RDMA op, at post time. `node` is the memory
+  // node the posting NIC channel belongs to (0 for the single-node machine),
+  // so node-targeted fault windows affect only that node's link.
+  virtual RdmaOpFate OnRdmaPost(bool is_write, SimTime now, int node) = 0;
 
   // Extra interconnect delay for one IPI dispatched at `now`.
   virtual SimTime ExtraIpiDelayNs(SimTime now) = 0;

@@ -1,8 +1,20 @@
 #include "src/hw/memnode.h"
 
 #include "src/sim/engine.h"
+#include "src/trace/trace.h"
 
 namespace magesim {
+
+void MemoryNode::SetAvailable(bool up) {
+  if (available_ == up) return;
+  available_ = up;
+  if (!up) {
+    ++crash_episodes_;
+    TraceEmit(TraceEventType::kMemnodeCrash, node_id_);
+  } else {
+    TraceEmit(TraceEventType::kMemnodeRecover, node_id_);
+  }
+}
 
 Task<> MemoryNode::Setup() {
   // Connection establishment + ibv_reg_mr of the huge-page region. One-time

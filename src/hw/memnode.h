@@ -15,7 +15,11 @@ namespace magesim {
 
 class MemoryNode {
  public:
-  explicit MemoryNode(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+  // `node_id` identifies this server within a memory-server fleet (0 for the
+  // classic single-node machine); availability transitions are traced with it
+  // as the actor.
+  explicit MemoryNode(uint64_t capacity_bytes, int node_id = 0)
+      : capacity_(capacity_bytes), node_id_(node_id) {}
 
   // Control-path setup: daemon accepts a connection, registers the region
   // with its RDMA NIC, returns the rkey/base. Costs milliseconds but happens
@@ -46,16 +50,17 @@ class MemoryNode {
 
   // Availability, driven by injected crash/recover episodes. Steady-state
   // data movement is one-sided, so op outcomes are modeled at the NIC; this
-  // flag is observability plus a hook for control-path checks.
-  void SetAvailable(bool up) {
-    if (available_ && !up) ++crash_episodes_;
-    available_ = up;
-  }
+  // flag is observability plus a hook for control-path checks. Transitions
+  // emit kMemnodeCrash / kMemnodeRecover trace events (actor = node id);
+  // redundant calls with the current state are silent.
+  void SetAvailable(bool up);
   bool available() const { return available_; }
   uint64_t crash_episodes() const { return crash_episodes_; }
+  int node_id() const { return node_id_; }
 
  private:
   uint64_t capacity_;
+  int node_id_;
   uint64_t direct_reserved_ = 0;
   bool registered_ = false;
   bool available_ = true;

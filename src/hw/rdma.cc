@@ -8,7 +8,8 @@
 
 namespace magesim {
 
-RdmaNic::RdmaNic(const MachineParams& params) : params_(params) {}
+RdmaNic::RdmaNic(const MachineParams& params, int node_id)
+    : params_(params), node_id_(node_id) {}
 
 Task<> RdmaNic::SignalAt(std::shared_ptr<RdmaCompletion> c, SimTime when,
                          TraceEventType done_ev, SimTime op_latency,
@@ -67,7 +68,7 @@ std::shared_ptr<RdmaCompletion> RdmaNic::Post(Channel& ch, uint64_t bytes, Histo
   }
   RdmaOpFate fate;
   if (fault_model_ != nullptr) {
-    fate = fault_model_->OnRdmaPost(is_write, now);
+    fate = fault_model_->OnRdmaPost(is_write, now, node_id_);
     rate *= fate.bandwidth_factor;
     extra += fate.extra_latency_ns;
   }

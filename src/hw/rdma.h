@@ -53,7 +53,11 @@ class RdmaCompletion {
 
 class RdmaNic {
  public:
-  explicit RdmaNic(const MachineParams& params);
+  // `node_id` identifies the memory node this NIC's channels reach (0 for
+  // the classic single-node machine; fleet machines run one RdmaNic per
+  // memory server). It is forwarded to the fault model so injection windows
+  // can target individual nodes.
+  explicit RdmaNic(const MachineParams& params, int node_id = 0);
 
   // Posts a one-sided op; completion time is computed at post (FIFO channel).
   // The returned handle's event fires at that time. Posting itself is free of
@@ -76,6 +80,8 @@ class RdmaNic {
   // Optional per-op failure model (scripted injection); nullptr disables.
   void SetFaultModel(HwFaultModel* model) { fault_model_ = model; }
   HwFaultModel* fault_model() const { return fault_model_; }
+
+  int node_id() const { return node_id_; }
 
   size_t num_brownout_windows() const { return brownouts_.size(); }
 
@@ -135,6 +141,7 @@ class RdmaNic {
                          RdmaCompletion::Status status);
 
   MachineParams params_;
+  int node_id_;
   std::vector<Brownout> brownouts_;
   mutable size_t brownout_cursor_ = 0;
   HwFaultModel* fault_model_ = nullptr;

@@ -47,7 +47,8 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     {
       PhaseScope ps(core, SimPhase::kRdmaWait);
       if (resilience_ != nullptr) {
-        RemoteOpStatus st = co_await resilience_->ReadPage(core, vpn, /*allow_poison=*/true);
+        RemoteOpStatus st = co_await resilience_->ReadPage(core, vpn, /*allow_poison=*/true,
+                                                           {}, FleetSlotOf(vpn));
         if (st == RemoteOpStatus::kPoisoned) ++stats_.pages_poisoned;
       } else {
         co_await nic_.Read(kPageSize);
@@ -166,8 +167,8 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
     if (resilience_ != nullptr) {
       // The resilience manager emits its own rdma/retry/backoff/breaker
       // leaves under the fault span.
-      RemoteOpStatus st =
-          co_await resilience_->ReadPage(core, vpn, /*allow_poison=*/true, root);
+      RemoteOpStatus st = co_await resilience_->ReadPage(
+          core, vpn, /*allow_poison=*/true, root, FleetSlotOf(vpn));
       if (st == RemoteOpStatus::kPoisoned) ++stats_.pages_poisoned;
     } else {
       SimTime n0 = eng.now();

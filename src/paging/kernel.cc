@@ -185,6 +185,15 @@ void Kernel::Prepopulate(uint64_t resident_pages) {
       swap_->MarkUsedForSetup(vpn);
     }
   }
+  // With a memory-server fleet those warmed-up remote copies exist on their
+  // full desired replica set (slot = vpn at setup, under both slot-based and
+  // direct mapping).
+  if (resilience_ != nullptr && resilience_->fleet() != nullptr) {
+    FleetManager* fleet = resilience_->fleet();
+    for (uint64_t vpn = 0; vpn < wss_pages_; ++vpn) {
+      fleet->PrepopulateSlot(vpn);
+    }
+  }
 }
 
 bool Kernel::TryFastAccess(uint64_t vpn, bool write) {
@@ -498,6 +507,32 @@ size_t Kernel::CountDirtyForWriteback(const std::vector<PageFrame*>& victims) {
   return dirty;
 }
 
+std::vector<uint64_t> Kernel::CollectWritebackSlots(const std::vector<PageFrame*>& victims) {
+  FleetManager* fleet = resilience_->fleet();
+  std::vector<uint64_t> slots;
+  slots.reserve(victims.size());
+  for (PageFrame* f : victims) {
+    uint64_t vpn = f->vpn;  // Unmap preserved frame->vpn for writeback routing
+    uint64_t slot = swap_ != nullptr ? pt_->At(vpn).swap_slot : vpn;
+    if (f->dirty || !remote_valid_[vpn] || !fleet->HasLiveCopy(slot)) {
+      slots.push_back(slot);
+      remote_valid_[vpn] = true;
+    } else {
+      ++stats_.clean_reclaims;
+    }
+  }
+  return slots;
+}
+
+uint64_t Kernel::FleetSlotOf(uint64_t vpn) const {
+  if (resilience_ == nullptr || resilience_->fleet() == nullptr) {
+    return kNoFleetSlot;
+  }
+  if (swap_ == nullptr) return vpn;
+  uint64_t slot = pt_->At(vpn).swap_slot;
+  return slot == kNoSwapSlot ? vpn : slot;
+}
+
 std::shared_ptr<RdmaCompletion> Kernel::PostWriteback(const std::vector<PageFrame*>& victims) {
   size_t dirty = CountDirtyForWriteback(victims);
   std::shared_ptr<RdmaCompletion> last;
@@ -549,7 +584,12 @@ Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t ba
   SimTime w0 = Engine::current().now();
   {
     PhaseScope ps(core, SimPhase::kRdmaWait);
-    if (resilience_ != nullptr) {
+    if (resilience_ != nullptr && resilience_->fleet() != nullptr) {
+      std::vector<uint64_t> slots = CollectWritebackSlots(victims);
+      if (!slots.empty()) {
+        co_await resilience_->WriteSlots(evictor_id, std::move(slots), bspan);
+      }
+    } else if (resilience_ != nullptr) {
       size_t dirty = CountDirtyForWriteback(victims);
       if (dirty > 0) {
         co_await resilience_->WritePages(evictor_id, dirty, bspan);

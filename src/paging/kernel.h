@@ -126,6 +126,10 @@ class Kernel {
   // attached every remote op takes the legacy direct-NIC path unchanged.
   void SetResilience(ResilienceManager* r) { resilience_ = r; }
   ResilienceManager* resilience() { return resilience_; }
+
+  // The fleet routing slot for a remote read of `vpn` (identity under direct
+  // mapping), or the no-fleet sentinel when no fleet is attached.
+  uint64_t FleetSlotOf(uint64_t vpn) const;
   // Null unless the machine attached memory control groups.
   TenancyManager* tenancy() { return tenancy_; }
   uint64_t FaultsOnCore(CoreId c) const { return faults_per_core_[static_cast<size_t>(c)]; }
@@ -202,6 +206,13 @@ class Kernel {
   // Marks remote copies valid, counts clean reclaims, and returns how many
   // victims need an RDMA write.
   size_t CountDirtyForWriteback(const std::vector<PageFrame*>& victims);
+
+  // Fleet-mode variant: returns the swap slots that need a replicated
+  // writeback. A clean page whose slot has no live replica left (its holders
+  // crashed) is rewritten too — the resident copy is the last one and the
+  // write restores the desired replica set.
+  std::vector<uint64_t> CollectWritebackSlots(const std::vector<PageFrame*>& victims);
+
 
   // Writes back dirty victims (returns the last completion, or nullptr if all
   // clean) and marks remote copies valid.

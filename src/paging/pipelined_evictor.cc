@@ -132,7 +132,13 @@ Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
       prevprev.reset();
     }
     if (prev.has_value()) {
-      if (resilience_ != nullptr) {
+      if (resilience_ != nullptr && resilience_->fleet() != nullptr) {
+        std::vector<uint64_t> slots = CollectWritebackSlots(prev->victims);
+        if (!slots.empty()) {
+          prev->write_ticket =
+              resilience_->SpawnWriteSlots(evictor_id, std::move(slots), prev->span);
+        }
+      } else if (resilience_ != nullptr) {
         size_t dirty = CountDirtyForWriteback(prev->victims);
         if (dirty > 0) {
           prev->write_ticket = resilience_->SpawnWritePages(evictor_id, dirty, prev->span);

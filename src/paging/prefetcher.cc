@@ -132,8 +132,8 @@ Task<> Prefetcher::PrefetchRange(CoreId core, uint64_t start_vpn, int64_t stride
     PageFrame* frame = co_await k.AllocWithPressure(core, vpn, pspan);
     TraceEmit(TraceEventType::kFrameAlloc, core, vpn, frame->pfn);
     if (k.resilience() != nullptr) {
-      RemoteOpStatus st =
-          co_await k.resilience()->ReadPage(core, vpn, /*allow_poison=*/false, pspan);
+      RemoteOpStatus st = co_await k.resilience()->ReadPage(
+          core, vpn, /*allow_poison=*/false, pspan, k.FleetSlotOf(vpn));
       if (st == RemoteOpStatus::kAbandoned) {
         // Speculative read failed for good: unwind instead of poisoning.
         // Free the frame, release the in-flight fault, and stop reading

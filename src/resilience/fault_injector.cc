@@ -20,13 +20,14 @@ bool ChannelMatches(FaultChannel c, bool is_write) {
 FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
     : plan_(std::move(plan)), rng_(seed ^ 0xfa17'1e57'0d15'ea5eULL) {}
 
-RdmaOpFate FaultInjector::OnRdmaPost(bool is_write, SimTime now) {
+RdmaOpFate FaultInjector::OnRdmaPost(bool is_write, SimTime now, int node) {
   RdmaOpFate fate;
   const auto& ws = plan_.windows();
   while (cursor_ < ws.size() && ws[cursor_].until <= now) ++cursor_;
   for (size_t i = cursor_; i < ws.size() && ws[i].from <= now; ++i) {
     const FaultWindow& w = ws[i];
     if (now >= w.until) continue;  // short window nested inside a longer one
+    if (w.node >= 0 && w.node != node) continue;  // targets another server
     switch (w.kind) {
       case FaultKind::kBrownout:
         fate.bandwidth_factor *= w.bandwidth_factor;
@@ -87,11 +88,16 @@ SimTime FaultInjector::ExtraIpiDelayNs(SimTime now) {
 }
 
 void FaultInjector::Start(Engine& eng, MemoryNode* memnode) {
-  if (plan_.empty()) return;
-  eng.Spawn(EpisodeMain(memnode));
+  Start(eng, std::vector<MemoryNode*>{memnode});
 }
 
-Task<> FaultInjector::EpisodeMain(MemoryNode* memnode) {
+void FaultInjector::Start(Engine& eng, std::vector<MemoryNode*> nodes) {
+  if (plan_.empty()) return;
+  nodes_ = std::move(nodes);
+  eng.Spawn(EpisodeMain());
+}
+
+Task<> FaultInjector::EpisodeMain() {
   // Window opens and crash-window closes, processed in global time order.
   struct Marker {
     SimTime t;
@@ -110,22 +116,43 @@ Task<> FaultInjector::EpisodeMain(MemoryNode* memnode) {
     return a.idx < b.idx;
   });
 
-  int active_crashes = 0;
+  // Overlapping crash windows on the same node stack: the node comes back
+  // only when its last crash window closes. An untargeted crash flips node 0.
+  std::vector<int> active_crashes(nodes_.size(), 0);
   for (const Marker& m : marks) {
     Engine& eng = Engine::current();
     if (m.t > eng.now()) co_await Delay{m.t - eng.now()};
     const FaultWindow& w = ws[m.idx];
-    if (m.type == 0) {
+    if (w.kind == FaultKind::kCrash) {
+      size_t target = w.node >= 0 ? static_cast<size_t>(w.node) : 0;
+      if (target >= nodes_.size() || nodes_[target] == nullptr) {
+        if (m.type == 0) {
+          ++windows_opened_;
+          TraceEmit(TraceEventType::kFaultWindow, -1, kTraceNoPage,
+                    kTraceNoFrame, static_cast<uint64_t>(w.kind));
+        }
+        continue;
+      }
+      if (m.type == 0) {
+        ++windows_opened_;
+        TraceEmit(TraceEventType::kFaultWindow, -1, kTraceNoPage, kTraceNoFrame,
+                  static_cast<uint64_t>(w.kind));
+        if (active_crashes[target]++ == 0) {
+          nodes_[target]->SetAvailable(false);
+          if (availability_listener_) {
+            availability_listener_(static_cast<int>(target), false);
+          }
+        }
+      } else if (--active_crashes[target] == 0) {
+        nodes_[target]->SetAvailable(true);
+        if (availability_listener_) {
+          availability_listener_(static_cast<int>(target), true);
+        }
+      }
+    } else {
       ++windows_opened_;
       TraceEmit(TraceEventType::kFaultWindow, -1, kTraceNoPage, kTraceNoFrame,
                 static_cast<uint64_t>(w.kind));
-      if (w.kind == FaultKind::kCrash && active_crashes++ == 0 && memnode != nullptr) {
-        memnode->SetAvailable(false);
-        TraceEmit(TraceEventType::kMemnodeCrash);
-      }
-    } else if (--active_crashes == 0 && memnode != nullptr) {
-      memnode->SetAvailable(true);
-      TraceEmit(TraceEventType::kMemnodeRecover);
     }
   }
 }

@@ -7,6 +7,8 @@
 #define MAGESIM_RESILIENCE_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "src/hw/fault_hooks.h"
 #include "src/hw/memnode.h"
@@ -21,13 +23,25 @@ class FaultInjector : public HwFaultModel {
  public:
   FaultInjector(FaultPlan plan, uint64_t seed);
 
-  RdmaOpFate OnRdmaPost(bool is_write, SimTime now) override;
+  // Windows with `node >= 0` only affect the NIC posting to that node;
+  // node == -1 windows affect every node's link.
+  RdmaOpFate OnRdmaPost(bool is_write, SimTime now, int node) override;
   SimTime ExtraIpiDelayNs(SimTime now) override;
 
   // Spawns the episode driver: emits a kFaultWindow marker as each window
-  // opens and flips the memory node's availability across crash windows
-  // (kMemnodeCrash / kMemnodeRecover). Call once, before Engine::Run.
+  // opens and flips memory node availability across crash windows (the nodes
+  // themselves trace kMemnodeCrash / kMemnodeRecover on the transition). A
+  // node-targeted crash flips `nodes[window.node]`; an untargeted crash flips
+  // node 0, matching the classic single-node machine. Call once, before
+  // Engine::Run.
   void Start(Engine& eng, MemoryNode* memnode);
+  void Start(Engine& eng, std::vector<MemoryNode*> nodes);
+
+  // Invoked after every availability flip the episode driver performs, with
+  // the node id and its new state — the fleet manager's crash/recover hook.
+  void SetAvailabilityListener(std::function<void(int node, bool up)> fn) {
+    availability_listener_ = std::move(fn);
+  }
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -37,13 +51,15 @@ class FaultInjector : public HwFaultModel {
   uint64_t windows_opened() const { return windows_opened_; }
 
  private:
-  Task<> EpisodeMain(MemoryNode* memnode);
+  Task<> EpisodeMain();
 
   // Windows sorted by start; post/IPI times are non-decreasing, so expired
   // prefix windows are skipped once (O(active windows) per consult).
   FaultPlan plan_;
   size_t cursor_ = 0;
   Rng rng_;
+  std::vector<MemoryNode*> nodes_;
+  std::function<void(int, bool)> availability_listener_;
 
   uint64_t drops_ = 0;
   uint64_t errors_ = 0;

@@ -125,6 +125,14 @@ bool SetWindowKey(FaultWindow* w, const std::string& key, const std::string& val
       SetError(error, "bad channel '" + value + "' (want read|write|both)");
       return false;
     }
+  } else if (key == "node") {
+    char* end = nullptr;
+    long n = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n < 0 || n > 4096) {
+      SetError(error, "bad node '" + value + "' (want a node id >= 0)");
+      return false;
+    }
+    w->node = static_cast<int>(n);
   } else {
     SetError(error, "unknown key '" + key + "'");
     return false;
@@ -419,7 +427,10 @@ std::string FaultPlan::ToSpec() const {
   for (const FaultWindow& w : windows_) {
     if (!s.empty()) s += ";";
     s += FaultKindName(w.kind);
-    s += "@" + FormatTimeNs(w.from) + "-" + FormatTimeNs(w.until);
+    s += "@";
+    s += FormatTimeNs(w.from);
+    s += "-";
+    s += FormatTimeNs(w.until);
     // Emit exactly the fields that differ from the kind's parse-time defaults
     // so Parse(ToSpec(p)) == p for any representable window.
     FaultWindow d;
@@ -434,6 +445,7 @@ std::string FaultPlan::ToSpec() const {
       kvs.push_back("lat=" + FormatTimeNs(w.extra_latency_ns));
     }
     if (w.channel != d.channel) kvs.push_back(std::string("ch=") + ChannelName(w.channel));
+    if (w.node != d.node) kvs.push_back("node=" + std::to_string(w.node));
     for (size_t i = 0; i < kvs.size(); ++i) {
       s += (i == 0 ? ":" : ",") + kvs[i];
     }
@@ -455,7 +467,9 @@ std::string FaultPlan::ToJson() const {
     s += ",\"lat\":" + std::to_string(w.extra_latency_ns);
     s += ",\"ch\":\"";
     s += ChannelName(w.channel);
-    s += "\"}";
+    s += "\"";
+    if (w.node >= 0) s += ",\"node\":" + std::to_string(w.node);
+    s += "}";
   }
   s += "]";
   return s;
@@ -472,6 +486,12 @@ SimTime FaultPlan::end_time() const {
   SimTime end = 0;
   for (const FaultWindow& w : windows_) end = std::max(end, w.until);
   return end;
+}
+
+int FaultPlan::max_target_node() const {
+  int max_node = -1;
+  for (const FaultWindow& w : windows_) max_node = std::max(max_node, w.node);
+  return max_node;
 }
 
 }  // namespace magesim

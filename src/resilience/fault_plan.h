@@ -10,7 +10,7 @@
 //     event  := kind '@' time '-' time [':' key '=' value (',' key=value)*]
 //     kind   := brownout | degrade | drop | error | spike | crash | ipidelay
 //     key    := p (probability) | bw (bandwidth factor) | lat (extra latency)
-//               | ch (read|write|both)
+//               | ch (read|write|both) | node (memory-server id; default all)
 //     time   := decimal with optional ns/us/ms/s suffix (default ns)
 //
 //   JSON (auto-detected by a leading '['):
@@ -24,6 +24,11 @@
 //   spike     +lat per op with probability p
 //   crash     memory node dark: every RDMA completion lost, node unavailable
 //   ipidelay  +lat interconnect delay per IPI delivery
+//
+// Any window may carry `node=<id>` to target one memory server of a fleet
+// (crash kills just that node; drop/error/brownout affect only its link).
+// Without it a window applies to every node. The machine rejects plans naming
+// nodes outside the configured fleet at construction time.
 #ifndef MAGESIM_RESILIENCE_FAULT_PLAN_H_
 #define MAGESIM_RESILIENCE_FAULT_PLAN_H_
 
@@ -58,6 +63,7 @@ struct FaultWindow {
   double bandwidth_factor = 1.0;  // brownout / degrade
   SimTime extra_latency_ns = 0;   // brownout / degrade / spike / ipidelay
   FaultChannel channel = FaultChannel::kBoth;  // drop / error
+  int node = -1;                  // target memory node; -1 = every node
 
   bool operator==(const FaultWindow&) const = default;
 };
@@ -81,6 +87,9 @@ class FaultPlan {
   const std::vector<FaultWindow>& windows() const { return windows_; }
   bool empty() const { return windows_.empty(); }
   SimTime end_time() const;
+  // Largest node id any window targets (-1 when no window is node-targeted).
+  // The machine validates this against the configured fleet size.
+  int max_target_node() const;
 
   bool operator==(const FaultPlan&) const = default;
 

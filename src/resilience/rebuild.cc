@@ -1,0 +1,82 @@
+#include "src/resilience/rebuild.h"
+
+#include <algorithm>
+
+#include "src/trace/trace.h"
+
+namespace magesim {
+
+RebuildDriver::RebuildDriver(FleetManager& fleet, const RebuildOptions& opt)
+    : fleet_(fleet), opt_(opt) {
+  if (opt_.rebuild_gbps > 0.0) {
+    pace_gap_ns_ = static_cast<SimTime>(kPageSize * 8.0 / opt_.rebuild_gbps);
+  }
+}
+
+void RebuildDriver::Start(Engine& eng) { eng.Spawn(Main()); }
+
+Task<bool> RebuildDriver::AwaitOp(std::shared_ptr<RdmaCompletion> c) {
+  // Background repair has no retry machinery of its own: sleep until the op
+  // is overdue, then judge it. A dropped completion (crash/drop window)
+  // simply never arrives.
+  Engine& eng = Engine::current();
+  SimTime deadline = std::max(eng.now(), c->completes_at()) + opt_.op_grace_ns;
+  if (deadline > eng.now()) co_await Delay{deadline - eng.now()};
+  co_return c->done() && c->ok();
+}
+
+Task<> RebuildDriver::RepairOne(uint64_t slot, SpanHandle span,
+                                uint64_t* burst_pages) {
+  for (int attempt = 0; attempt < opt_.max_attempts; ++attempt) {
+    // Re-resolve each attempt: a crash mid-repair moves source and target.
+    int target = fleet_.RebuildTargetFor(slot);
+    int source = fleet_.SourceFor(slot);
+    if (target < 0 || source < 0) co_return;  // fully placed, or data gone
+    SimTime t0 = Engine::current().now();
+    bool ok = co_await AwaitOp(fleet_.nic(source).PostRead(kPageSize));
+    if (ok) ok = co_await AwaitOp(fleet_.nic(target).PostWrite(kPageSize));
+    SpanLeafUnder(span, SpanKind::kRebuild, t0, Engine::current().now(), target,
+                  slot, {}, static_cast<uint64_t>(attempt) + 1);
+    if (ok) {
+      fleet_.AddCopy(slot, target);
+      ++pages_rebuilt_;
+      *burst_pages += 1;
+      TraceEmit(TraceEventType::kFleetRebuildPage, target, slot);
+      // Still short of its desired set (k > 2 with several holders down)?
+      if (fleet_.RebuildTargetFor(slot) >= 0) fleet_.EnqueueRepair(slot);
+      co_return;
+    }
+    ++repair_failures_;
+  }
+  // A dirty window outlasted the attempt budget: give the link a breather
+  // and put the slot back for a later burst.
+  co_await Delay{opt_.requeue_backoff_ns};
+  fleet_.EnqueueRepair(slot);
+}
+
+Task<> RebuildDriver::Main() {
+  for (;;) {
+    while (fleet_.rebuild_pending() == 0) {
+      fleet_.repair_ready().Reset();
+      co_await fleet_.repair_ready().Wait();
+    }
+    ++bursts_;
+    TraceEmit(TraceEventType::kFleetRebuildStart, -1, kTraceNoPage, kTraceNoFrame,
+              static_cast<uint64_t>(fleet_.rebuild_pending()));
+    SpanHandle span;
+    if (SpanTracer* st = SpanTracer::Get()) {
+      span = st->BeginDetached(SpanKind::kRebuild, -1, kTraceNoPage);
+    }
+    uint64_t burst_pages = 0;
+    uint64_t slot = 0;
+    while (fleet_.PopRepair(&slot)) {
+      co_await RepairOne(slot, span, &burst_pages);
+      if (pace_gap_ns_ > 0) co_await Delay{pace_gap_ns_};
+    }
+    SpanEndDetached(span, burst_pages);
+    TraceEmit(TraceEventType::kFleetRebuildDone, -1, kTraceNoPage, kTraceNoFrame,
+              burst_pages);
+  }
+}
+
+}  // namespace magesim

@@ -47,11 +47,11 @@ Task<ResilienceManager::OpOutcome> ResilienceManager::AwaitWithDeadline(
   co_return c->ok() ? OpOutcome::kOk : OpOutcome::kError;
 }
 
-Task<bool> ResilienceManager::OneOp(bool is_write, int actor, uint64_t vpn, int budget,
-                                    SpanHandle op) {
+Task<bool> ResilienceManager::OneOpOn(RdmaNic& nic, CircuitBreaker& br,
+                                      int span_channel, bool is_write, int actor,
+                                      uint64_t vpn, int budget, SpanHandle op) {
   BackoffSequence backoff(opt_.retry);
-  CircuitBreaker& br = is_write ? write_breaker_ : read_breaker_;
-  const int channel = is_write ? 1 : 0;
+  const int channel = span_channel;
   for (int attempt = 0;; ++attempt) {
     SimTime g0 = Engine::current().now();
     co_await br.Admit();
@@ -61,7 +61,7 @@ Task<bool> ResilienceManager::OneOp(bool is_write, int actor, uint64_t vpn, int 
                     st->breaker_open(channel));
     }
     SimTime p0 = Engine::current().now();
-    auto c = is_write ? nic_.PostWrite(kPageSize) : nic_.PostRead(kPageSize);
+    auto c = is_write ? nic.PostWrite(kPageSize) : nic.PostRead(kPageSize);
     OpOutcome out = co_await AwaitWithDeadline(c, actor, vpn);
     SpanLeafUnder(op,
                   attempt == 0 ? (is_write ? SpanKind::kRdmaWrite : SpanKind::kRdmaRead)
@@ -95,8 +95,90 @@ Task<bool> ResilienceManager::OneOp(bool is_write, int actor, uint64_t vpn, int 
   }
 }
 
+Task<bool> ResilienceManager::OneOp(bool is_write, int actor, uint64_t vpn, int budget,
+                                    SpanHandle op) {
+  CircuitBreaker& br = is_write ? write_breaker_ : read_breaker_;
+  return OneOpOn(nic_, br, /*span_channel=*/is_write ? 1 : 0, is_write, actor, vpn,
+                 budget, op);
+}
+
+void ResilienceManager::SetFleet(FleetManager* fleet) {
+  fleet_ = fleet;
+  node_read_breakers_.clear();
+  node_write_breakers_.clear();
+  if (fleet_ == nullptr) return;
+  for (int n = 0; n < fleet_->num_nodes(); ++n) {
+    node_read_breakers_.emplace_back(opt_.breaker, /*channel_id=*/2 * n);
+    node_write_breakers_.emplace_back(opt_.breaker, /*channel_id=*/2 * n + 1);
+  }
+}
+
+bool ResilienceManager::read_degraded() const {
+  if (fleet_ == nullptr) return read_breaker_.degraded();
+  for (const CircuitBreaker& b : node_read_breakers_) {
+    if (b.degraded()) return true;
+  }
+  return false;
+}
+
+bool ResilienceManager::write_degraded() const {
+  if (fleet_ == nullptr) return write_breaker_.degraded();
+  for (const CircuitBreaker& b : node_write_breakers_) {
+    if (b.degraded()) return true;
+  }
+  return false;
+}
+
+uint64_t ResilienceManager::breaker_opens_total() const {
+  uint64_t total = read_breaker_.opens() + write_breaker_.opens();
+  for (const CircuitBreaker& b : node_read_breakers_) total += b.opens();
+  for (const CircuitBreaker& b : node_write_breakers_) total += b.opens();
+  return total;
+}
+
+Task<RemoteOpStatus> ResilienceManager::FleetReadPage(int core, uint64_t vpn,
+                                                      uint64_t slot,
+                                                      bool allow_poison,
+                                                      SpanHandle op) {
+  // Split the retry budget across replicas so total attempts stay bounded by
+  // the single-node policy; a replica that exhausts its share is excluded
+  // and the read fails over to the next survivor.
+  const int per_replica_budget =
+      std::max(1, opt_.retry.max_retries / std::max(1, fleet_->replication()));
+  uint16_t excluded = 0;
+  for (;;) {
+    FleetManager::ReadTarget t = fleet_->ReadTargetFor(slot, excluded);
+    if (t.node < 0) break;  // nothing live left to ask
+    SimTime a0 = Engine::current().now();
+    bool ok = co_await OneOpOn(fleet_->nic(t.node), NodeBreaker(t.node, false),
+                               /*span_channel=*/0, /*is_write=*/false, core, vpn,
+                               per_replica_budget, op);
+    if (ok) {
+      if (t.degraded) {
+        fleet_->NoteDegradedRead(slot, t.node, fleet_->placement().PrimaryOf(slot));
+        SpanLeafUnder(op, SpanKind::kDegradedRead, a0, Engine::current().now(),
+                      t.node, vpn, {}, slot);
+      }
+      co_return RemoteOpStatus::kOk;
+    }
+    excluded |= static_cast<uint16_t>(1u << t.node);
+  }
+  ++reads_failed_;
+  if (!allow_poison) co_return RemoteOpStatus::kAbandoned;
+  if (opt_.terminal == TerminalPolicy::kFailRun) {
+    FailRun("no live replica for demand read");
+  }
+  ++pages_poisoned_;
+  TraceEmit(TraceEventType::kPagePoisoned, core, vpn);
+  co_return RemoteOpStatus::kPoisoned;
+}
+
 Task<RemoteOpStatus> ResilienceManager::ReadPage(int core, uint64_t vpn,
-                                                 bool allow_poison, SpanHandle op) {
+                                                 bool allow_poison, SpanHandle op,
+                                                 uint64_t slot) {
+  if (fleet_ != nullptr && slot != kNoFleetSlot) {
+    co_return co_await FleetReadPage(core, vpn, slot, allow_poison, op);
+  }
   bool ok = co_await OneOp(/*is_write=*/false, core, vpn, opt_.retry.max_retries, op);
   if (ok) co_return RemoteOpStatus::kOk;
   ++reads_failed_;
@@ -157,6 +239,82 @@ Task<size_t> ResilienceManager::WritePages(int evictor_id, size_t n, SpanHandle 
   co_return lost;
 }
 
+Task<size_t> ResilienceManager::WriteSlots(int evictor_id,
+                                           std::vector<uint64_t> slots,
+                                           SpanHandle op) {
+  if (fleet_ == nullptr || slots.empty()) co_return 0;
+  // Gate once per server this batch will touch (ascending, deterministic) —
+  // the fleet analogue of WritePages' single upfront Admit.
+  uint16_t touch_mask = 0;
+  for (uint64_t slot : slots) touch_mask |= fleet_->WriteTargetsFor(slot).Mask();
+  for (int n = 0; n < fleet_->num_nodes(); ++n) {
+    if ((touch_mask & (1u << n)) == 0) continue;
+    SimTime g0 = Engine::current().now();
+    co_await NodeBreaker(n, /*is_write=*/true).Admit();
+    if (SpanTracer* st = SpanTracer::Get(); st != nullptr) {
+      st->LeafUnder(op, SpanKind::kBreakerWait, g0, Engine::current().now(),
+                    evictor_id, kTraceNoPage, st->breaker_open(1));
+    }
+  }
+  // Post every (slot, replica) op back-to-back, then await in FIFO order;
+  // only failures pay retry latency. Targets are re-resolved after the
+  // admission gates so a server that died while we waited is skipped.
+  struct PendingOp {
+    size_t idx;
+    int node;
+    std::shared_ptr<RdmaCompletion> c;
+  };
+  std::vector<PendingOp> ops;
+  std::vector<uint16_t> acked(slots.size(), 0);
+  ops.reserve(slots.size() * static_cast<size_t>(fleet_->replication()));
+  for (size_t i = 0; i < slots.size(); ++i) {
+    ReplicaSet targets = fleet_->WriteTargetsFor(slots[i]);
+    for (int j = 0; j < targets.count; ++j) {
+      ops.push_back(
+          {i, targets.node[j], fleet_->nic(targets.node[j]).PostWrite(kPageSize)});
+    }
+  }
+  for (PendingOp& p : ops) {
+    SimTime w0 = Engine::current().now();
+    OpOutcome out = co_await AwaitWithDeadline(p.c, evictor_id, slots[p.idx]);
+    SpanLeafUnder(op, SpanKind::kRdmaWrite, w0, Engine::current().now(), evictor_id,
+                  slots[p.idx], {}, 1);
+    CircuitBreaker& br = NodeBreaker(p.node, /*is_write=*/true);
+    if (out == OpOutcome::kOk) {
+      br.OnSuccess();
+      acked[p.idx] |= static_cast<uint16_t>(1u << p.node);
+      continue;
+    }
+    bool was_degraded = br.degraded();
+    br.OnFailure();
+    if (SpanTracer* st = SpanTracer::Get();
+        st != nullptr && !was_degraded && br.degraded()) {
+      st->NoteBreakerOpen(1, op);
+    }
+    ++retries_;
+    TraceEmit(TraceEventType::kRdmaRetry, evictor_id, slots[p.idx], kTraceNoFrame, 1);
+    if (co_await OneOpOn(fleet_->nic(p.node), br, /*span_channel=*/1,
+                         /*is_write=*/true, evictor_id, slots[p.idx],
+                         std::max(0, opt_.retry.max_retries - 1), op)) {
+      acked[p.idx] |= static_cast<uint16_t>(1u << p.node);
+    }
+  }
+  size_t lost = 0;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    fleet_->CommitWrite(slots[i], acked[i]);
+    if (!fleet_->HasLiveCopy(slots[i])) ++lost;
+  }
+  if (lost > 0) {
+    writebacks_lost_ += lost;
+    TraceEmit(TraceEventType::kWritebackLost, evictor_id, kTraceNoPage, kTraceNoFrame,
+              static_cast<uint64_t>(lost));
+    if (opt_.terminal == TerminalPolicy::kFailRun) {
+      FailRun("writeback lost every replica");
+    }
+  }
+  co_return lost;
+}
+
 Task<> ResilienceManager::TicketMain(int evictor_id, size_t n,
                                      std::shared_ptr<WritebackTicket> t,
                                      SpanHandle batch_span) {
@@ -176,10 +334,39 @@ std::shared_ptr<WritebackTicket> ResilienceManager::SpawnWritePages(int evictor_
   return t;
 }
 
+Task<> ResilienceManager::TicketMainSlots(int evictor_id,
+                                          std::vector<uint64_t> slots,
+                                          std::shared_ptr<WritebackTicket> t,
+                                          SpanHandle batch_span) {
+  t->lost = co_await WriteSlots(evictor_id, std::move(slots), batch_span);
+  t->done.Set();
+}
+
+std::shared_ptr<WritebackTicket> ResilienceManager::SpawnWriteSlots(
+    int evictor_id, std::vector<uint64_t> slots, SpanHandle batch_span) {
+  auto t = std::make_shared<WritebackTicket>();
+  t->pages = slots.size();
+  Engine::current().Spawn(
+      TicketMainSlots(evictor_id, std::move(slots), t, batch_span));
+  return t;
+}
+
 Task<> ResilienceManager::EvictionBackpressure(int evictor_id) {
-  if (!write_breaker_.degraded()) co_return;
+  const CircuitBreaker* gate = &write_breaker_;
+  if (fleet_ != nullptr) {
+    // Per-server breakers: pause against the worst open write channel.
+    gate = nullptr;
+    for (const CircuitBreaker& b : node_write_breakers_) {
+      if (b.degraded() && (gate == nullptr || b.open_until() > gate->open_until())) {
+        gate = &b;
+      }
+    }
+    if (gate == nullptr) co_return;
+  } else if (!write_breaker_.degraded()) {
+    co_return;
+  }
   SimTime now = Engine::current().now();
-  SimTime wait = write_breaker_.open_until() - now;
+  SimTime wait = gate->open_until() - now;
   if (wait < 10 * kMicrosecond) wait = 10 * kMicrosecond;
   if (wait > opt_.backpressure_max_ns) wait = opt_.backpressure_max_ns;
   ++backpressure_waits_;

@@ -8,10 +8,12 @@
 #define MAGESIM_RESILIENCE_RESILIENT_RDMA_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/fleet/fleet.h"
 #include "src/hw/rdma.h"
 #include "src/resilience/retry.h"
 #include "src/sim/random.h"
@@ -52,17 +54,30 @@ struct WritebackTicket {
   size_t lost = 0;  // valid once `done` fires
 };
 
+// Sentinel for ReadPage's slot argument: no fleet routing (single-node path).
+inline constexpr uint64_t kNoFleetSlot = ~0ULL;
+
 class ResilienceManager {
  public:
   ResilienceManager(RdmaNic& nic, const ResilienceOptions& opt);
+
+  // Routes the data path through a memory-server fleet: reads resolve their
+  // swap slot to the nearest live replica (failing over, degraded, to any
+  // survivor), writebacks fan out to every live desired replica, and the
+  // circuit-breaker state becomes per-server (channel ids 2n / 2n+1). With
+  // no fleet attached every path below is byte-identical to before.
+  void SetFleet(FleetManager* fleet);
+  FleetManager* fleet() const { return fleet_; }
 
   // One remote page read on the fault path. Retries under the read breaker;
   // on exhaustion applies the terminal policy (`allow_poison` = demand fault)
   // or reports kAbandoned (speculative prefetch: caller unwinds the frame).
   // `op` is the requesting operation's span; the per-attempt rdma/retry/
-  // backoff/breaker leaves attach to it.
+  // backoff/breaker leaves attach to it. With a fleet attached, `slot`
+  // (the page's swap slot) selects the serving replica; kNoFleetSlot keeps
+  // the legacy single-NIC path.
   Task<RemoteOpStatus> ReadPage(int core, uint64_t vpn, bool allow_poison,
-                                SpanHandle op = {});
+                                SpanHandle op = {}, uint64_t slot = kNoFleetSlot);
 
   // `n` dirty-page writebacks posted back-to-back (keeping the channel as
   // full as the legacy path), then awaited in FIFO order with per-op
@@ -71,14 +86,25 @@ class ResilienceManager {
   // `op` is the owning batch's span.
   Task<size_t> WritePages(int evictor_id, size_t n, SpanHandle op = {});
 
+  // Fleet writeback: every slot is written to each live desired replica
+  // (posted back-to-back, awaited FIFO, failures retried per-replica) and
+  // the acknowledged replica set committed to the fleet table. Returns the
+  // number of slots that ended with zero live copies (each surfaced as
+  // lost by the fleet — never silent).
+  Task<size_t> WriteSlots(int evictor_id, std::vector<uint64_t> slots,
+                          SpanHandle op = {});
+
   // Background variant for the pipelined evictor. `batch_span` (may be
   // null) is passed through to WritePages in the spawned task, so the
   // per-op rdma/retry/backoff leaves land under the owning eviction batch.
   std::shared_ptr<WritebackTicket> SpawnWritePages(int evictor_id, size_t n,
                                                    SpanHandle batch_span = {});
+  std::shared_ptr<WritebackTicket> SpawnWriteSlots(int evictor_id,
+                                                   std::vector<uint64_t> slots,
+                                                   SpanHandle batch_span = {});
 
-  bool read_degraded() const { return read_breaker_.degraded(); }
-  bool write_degraded() const { return write_breaker_.degraded(); }
+  bool read_degraded() const;
+  bool write_degraded() const;
 
   // Bounded pause for an evictor while the write channel is degraded: wait
   // out (most of) the breaker cool-down once, then proceed — the next
@@ -103,6 +129,14 @@ class ResilienceManager {
   const Histogram& attempts_per_op() const { return attempts_per_op_; }
   const CircuitBreaker& read_breaker() const { return read_breaker_; }
   const CircuitBreaker& write_breaker() const { return write_breaker_; }
+  // Breaker opens across every channel (legacy pair + per-server pairs).
+  uint64_t breaker_opens_total() const;
+  const CircuitBreaker& node_read_breaker(int node) const {
+    return node_read_breakers_[static_cast<size_t>(node)];
+  }
+  const CircuitBreaker& node_write_breaker(int node) const {
+    return node_write_breakers_[static_cast<size_t>(node)];
+  }
 
  private:
   enum class OpOutcome : uint8_t { kOk, kError, kTimeout };
@@ -120,18 +154,35 @@ class ResilienceManager {
                                   std::shared_ptr<OpWait> w);
   static Task<> DeadlineWatcher(SimTime delay, std::shared_ptr<OpWait> w);
 
-  // Full retry loop for one op; true on success. `budget` = extra attempts
-  // allowed after the first. Leaves attach to `op`.
+  // Full retry loop for one op posted on `nic` under breaker `br`; true on
+  // success. `budget` = extra attempts allowed after the first. Leaves
+  // attach to `op`; `span_channel` labels breaker causality (0 read, 1
+  // write — per-server breakers aggregate onto the channel pair).
+  Task<bool> OneOpOn(RdmaNic& nic, CircuitBreaker& br, int span_channel,
+                     bool is_write, int actor, uint64_t vpn, int budget,
+                     SpanHandle op);
   Task<bool> OneOp(bool is_write, int actor, uint64_t vpn, int budget, SpanHandle op);
+  Task<RemoteOpStatus> FleetReadPage(int core, uint64_t vpn, uint64_t slot,
+                                     bool allow_poison, SpanHandle op);
   Task<> TicketMain(int evictor_id, size_t n, std::shared_ptr<WritebackTicket> t,
                     SpanHandle batch_span);
+  Task<> TicketMainSlots(int evictor_id, std::vector<uint64_t> slots,
+                         std::shared_ptr<WritebackTicket> t, SpanHandle batch_span);
   void FailRun(const char* why);
+  CircuitBreaker& NodeBreaker(int node, bool is_write) {
+    auto& v = is_write ? node_write_breakers_ : node_read_breakers_;
+    return v[static_cast<size_t>(node)];
+  }
 
   RdmaNic& nic_;
   ResilienceOptions opt_;
   Rng rng_;
   CircuitBreaker read_breaker_;
   CircuitBreaker write_breaker_;
+  FleetManager* fleet_ = nullptr;
+  // Per-server breaker pairs (fleet mode only; deque — breakers don't move).
+  std::deque<CircuitBreaker> node_read_breakers_;
+  std::deque<CircuitBreaker> node_write_breakers_;
 
   bool run_failed_ = false;
   std::string failure_reason_;

@@ -50,7 +50,8 @@ const char* const kSpanKindNames[kNumSpanKinds] = {
     "alloc",          "free_wait",    "rdma_read",     "rdma_write",
     "rdma_retry",     "retry_backoff", "breaker_wait", "map_install",
     "accounting",     "unmap_victims", "shootdown_wait", "lazy_tlb_wait",
-    "ipi_deliver",    "reclaim",      "backpressure",
+    "ipi_deliver",    "reclaim",      "backpressure",  "degraded_read",
+    "rebuild",
 };
 }  // namespace
 

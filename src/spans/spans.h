@@ -89,6 +89,8 @@ enum class SpanKind : uint8_t {
   kIpiDeliver,     // one IPI: send -> transit -> serialized handler -> ack
   kReclaim,        // freeing victim frames back into the allocator
   kBackpressure,   // evictor pause while the write breaker is open
+  kDegradedRead,   // fleet read served from a non-primary surviving replica
+  kRebuild,        // fleet re-replication batch (also a detached root op)
   kNumKinds,
 };
 

@@ -58,6 +58,12 @@ const char* TraceEventName(TraceEventType t) {
     case TraceEventType::kTenantEvictSelect: return "tenancy.evict_select";
     case TraceEventType::kTenantSoftAdjust: return "tenancy.soft_adjust";
     case TraceEventType::kTenantThrottle: return "tenancy.throttle";
+    case TraceEventType::kFleetDegradedRead: return "fleet.degraded_read";
+    case TraceEventType::kFleetSlotLost: return "fleet.slot_lost";
+    case TraceEventType::kFleetRepairQueued: return "fleet.repair_queued";
+    case TraceEventType::kFleetRebuildStart: return "fleet.rebuild_start";
+    case TraceEventType::kFleetRebuildPage: return "fleet.rebuild_page";
+    case TraceEventType::kFleetRebuildDone: return "fleet.rebuild_done";
     case TraceEventType::kNumTypes: break;
   }
   return "unknown";

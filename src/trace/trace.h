@@ -76,6 +76,12 @@ enum class TraceEventType : uint8_t {
   kTenantEvictSelect, // actor=evictor id, arg=(tenant id << 32) | pages taken
   kTenantSoftAdjust,  // actor=tenant id, arg=new effective soft limit (pages)
   kTenantThrottle,    // actor=core, page, arg=tenant id (QoS denial/backoff)
+  kFleetDegradedRead, // actor=node served from, page=slot, arg=primary node
+  kFleetSlotLost,     // actor=last node holding it, page=slot (surfaced loss)
+  kFleetRepairQueued, // actor=node missing the copy, page=slot
+  kFleetRebuildStart, // actor=crashed/recovered node, arg=slots queued
+  kFleetRebuildPage,  // actor=target node, page=slot (one re-replication)
+  kFleetRebuildDone,  // arg=slots re-replicated since rebuild started
   kNumTypes,
 };
 

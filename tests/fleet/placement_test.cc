@@ -1,0 +1,112 @@
+// Placement determinism: the consistent-hash map is a pure function of
+// (seed, fleet size, replication, vnodes) — same inputs give an identical
+// slot -> (node, replica) map on every run, and a whole fleet machine run
+// with the same seed emits a byte-identical trace.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "src/core/farmem.h"
+#include "src/fleet/placement.h"
+#include "src/trace/trace.h"
+#include "src/workloads/gups.h"
+
+namespace magesim {
+namespace {
+
+constexpr uint64_t kSlots = 4096;
+
+TEST(PlacementTest, SameSeedSameMap) {
+  PlacementMap a(7, 4, 2);
+  PlacementMap b(7, 4, 2);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  for (uint64_t slot = 0; slot < kSlots; ++slot) {
+    ReplicaSet ra = a.ReplicasOf(slot);
+    ReplicaSet rb = b.ReplicasOf(slot);
+    ASSERT_EQ(ra.count, rb.count);
+    for (int i = 0; i < ra.count; ++i) {
+      ASSERT_EQ(ra.node[i], rb.node[i]) << "slot " << slot << " replica " << i;
+    }
+  }
+}
+
+TEST(PlacementTest, DifferentSeedDifferentMap) {
+  PlacementMap a(7, 4, 2);
+  PlacementMap b(8, 4, 2);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  uint64_t moved = 0;
+  for (uint64_t slot = 0; slot < kSlots; ++slot) {
+    if (a.PrimaryOf(slot) != b.PrimaryOf(slot)) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(PlacementTest, ReplicasAreDistinctNodes) {
+  PlacementMap p(3, 4, 3);
+  for (uint64_t slot = 0; slot < kSlots; ++slot) {
+    ReplicaSet r = p.ReplicasOf(slot);
+    ASSERT_EQ(r.count, 3);
+    std::set<int> distinct;
+    for (int i = 0; i < r.count; ++i) {
+      ASSERT_GE(r.node[i], 0);
+      ASSERT_LT(r.node[i], 4);
+      distinct.insert(r.node[i]);
+    }
+    ASSERT_EQ(distinct.size(), 3u) << "slot " << slot;
+  }
+}
+
+TEST(PlacementTest, ReplicationClampedToFleetSize) {
+  PlacementMap p(3, 2, 5);
+  EXPECT_EQ(p.replication(), 2);
+  PlacementMap q(3, 4, 0);
+  EXPECT_EQ(q.replication(), 1);
+}
+
+TEST(PlacementTest, EveryNodeOwnsSomeSlots) {
+  PlacementMap p(11, 4, 2);
+  std::array<uint64_t, 4> primaries{};
+  for (uint64_t slot = 0; slot < kSlots; ++slot) {
+    primaries[static_cast<size_t>(p.PrimaryOf(slot))]++;
+  }
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(primaries[static_cast<size_t>(n)], 0u) << "node " << n;
+  }
+}
+
+// Tentpole determinism gate: a 4-server, 2-replica machine run is
+// byte-identical across same-seed runs (events, order, timestamps).
+TEST(PlacementTest, FleetMachineSameSeedByteIdenticalTrace) {
+  auto run = [](uint64_t seed) {
+    GupsWorkload wl(GupsWorkload::Options{.total_pages = 2048,
+                                          .threads = 2,
+                                          .phase_change_at = 4 * kMillisecond,
+                                          .run_for = 8 * kMillisecond,
+                                          .prewarm_region_a = false});
+    FarMemoryMachine::Options opt;
+    opt.kernel = MageLibConfig();
+    opt.local_mem_ratio = 0.5;
+    opt.seed = seed;
+    opt.fleet.num_nodes = 4;
+    opt.fleet.replication = 2;
+
+    Tracer tracer;
+    TraceHashSink hash;
+    tracer.AddSink(&hash);
+    tracer.Install();
+    FarMemoryMachine m(opt, wl);
+    m.Run();
+    return std::pair<uint64_t, uint64_t>(hash.hash(), hash.total_events());
+  };
+  auto a = run(5);
+  auto b = run(5);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  ASSERT_GT(a.second, 0u);
+  auto c = run(6);
+  EXPECT_NE(a.first, c.first);
+}
+
+}  // namespace
+}  // namespace magesim

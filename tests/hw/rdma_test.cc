@@ -179,7 +179,7 @@ namespace {
 struct ScriptedFaultModel : HwFaultModel {
   std::vector<RdmaOpFate> fates;
   size_t next = 0;
-  RdmaOpFate OnRdmaPost(bool, SimTime) override {
+  RdmaOpFate OnRdmaPost(bool, SimTime, int) override {
     return next < fates.size() ? fates[next++] : RdmaOpFate{};
   }
   SimTime ExtraIpiDelayNs(SimTime) override { return 0; }
