@@ -26,13 +26,15 @@ class GlobalLru : public PageAccounting {
   void Unlink(PageFrame* f) override;
 
   uint64_t tracked_pages() const override {
+    // Unsafe(): size() is a plain counter read; a stale value only skews a
+    // report sampled mid-scan, never control flow.
     return inactive_.Unsafe().size() + active_.Unsafe().size();
   }
   LockStats AggregateLockStats() const override { return lock_.stats(); }
 
   // Unsafe(): read-only reporting that tolerates observing a scan mid-update.
   size_t inactive_size() const { return inactive_.Unsafe().size(); }
-  size_t active_size() const { return active_.Unsafe().size(); }
+  size_t active_size() const { return active_.Unsafe().size(); }  // see above
 
  private:
   void Balance();

@@ -662,6 +662,8 @@ std::string FarMemoryMachine::BuildRunReportJson(const RunResult& r) const {
   // comparing reports. Kept flat (no nested objects) so a regex can do it.
   w.Key("wall_clock");
   w.BeginObject();
+  // magesim-lint: allow(no-wallclock): report metadata only; determinism
+  // tests strip the wall_clock section before comparing.
   w.KV("generated_unix_s", static_cast<int64_t>(std::time(nullptr)));
   w.EndObject();
 

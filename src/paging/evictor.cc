@@ -4,10 +4,11 @@
 #include "src/paging/kernel.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
+#include "src/sim/hot_path.h"
 
 namespace magesim {
 
-Task<> Kernel::SequentialEvictorMain(int evictor_id, CoreId core) {
+MAGESIM_HOT_PATH Task<> Kernel::SequentialEvictorMain(int evictor_id, CoreId core) {
   Engine& eng = Engine::current();
   if (LockAnalyzer* la = LockAnalyzer::Active()) {
     // Unbound (-1): evictors legitimately touch other cores' structures.

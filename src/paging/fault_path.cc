@@ -6,6 +6,7 @@
 #include "src/paging/prefetcher.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
+#include "src/sim/hot_path.h"
 #include "src/spans/spans.h"
 #include "src/tenancy/memcg.h"
 #include "src/trace/trace.h"
@@ -22,7 +23,7 @@ const int kCatRdma = Breakdown::InternCategory("rdma");
 const int kCatAccounting = Breakdown::InternCategory("accounting");
 }  // namespace
 
-Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
+MAGESIM_HOT_PATH Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
   Engine& eng = Engine::current();
   const MachineParams& hw = topo_.params();
   SimTime t0 = eng.now();
@@ -61,6 +62,8 @@ Task<> Kernel::Fault(CoreId core, uint64_t vpn, bool write) {
       pt_->At(vpn).dirty = true;
       remote_valid_[vpn] = false;
     }
+    // magesim-lint: allow(hotpath-alloc): ideal variant models zero software
+    // overhead, so host-side deque growth is explicitly outside the model.
     ideal_fifo_.push_back(vpn);
     pt_->EndFault(vpn);
     stats_.fault_latency.Record(eng.now() - t0);

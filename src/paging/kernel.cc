@@ -12,6 +12,7 @@
 #include "src/paging/prefetcher.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
+#include "src/sim/hot_path.h"
 #include "src/sim/prof_counters.h"
 #include "src/spans/spans.h"
 #include "src/tenancy/memcg.h"
@@ -196,7 +197,7 @@ void Kernel::Prepopulate(uint64_t resident_pages) {
   }
 }
 
-bool Kernel::TryFastAccess(uint64_t vpn, bool write) {
+MAGESIM_HOT_PATH bool Kernel::TryFastAccess(uint64_t vpn, bool write) {
   MAGESIM_PROF_SCOPE(fast_access);
   Pte& pte = pt_->At(vpn);
   if (!pte.present) return false;
@@ -380,7 +381,7 @@ Task<> Kernel::TenantBalanceControllerMain() {
   }
 }
 
-Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn, SpanHandle op) {
+MAGESIM_HOT_PATH Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn, SpanHandle op) {
   if (config_.variant == Variant::kIdeal) {
     // The ideal variant has no allocator locks by construction.
     AnalysisExemptScope exempt;
@@ -440,7 +441,7 @@ Task<PageFrame*> Kernel::AllocWithPressure(CoreId core, uint64_t vpn, SpanHandle
   }
 }
 
-Task<> Kernel::SyncEvict(CoreId core, SpanHandle op) {
+MAGESIM_HOT_PATH Task<> Kernel::SyncEvict(CoreId core, SpanHandle op) {
   SimTime t0 = Engine::current().now();
   ++stats_.sync_evictions;
   TraceEmit(TraceEventType::kSyncEvictStart, core);
@@ -453,7 +454,9 @@ Task<> Kernel::SyncEvict(CoreId core, SpanHandle op) {
             static_cast<uint64_t>(elapsed));
 }
 
-Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
+// magesim-lint: allow(coroutine-ref-capture): out/sync_attr point at the
+// caller's frame and every caller co_awaits this task inline (never detached).
+MAGESIM_HOT_PATH Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
                                     std::vector<PageFrame*>* out, Breakdown* sync_attr,
                                     SpanHandle bspan) {
   SimTime i0 = Engine::current().now();
@@ -493,7 +496,7 @@ Task<size_t> Kernel::PrepareVictims(int evictor_id, CoreId core, size_t batch,
   co_return got;
 }
 
-size_t Kernel::CountDirtyForWriteback(const std::vector<PageFrame*>& victims) {
+MAGESIM_HOT_PATH size_t Kernel::CountDirtyForWriteback(const std::vector<PageFrame*>& victims) {
   size_t dirty = 0;
   for (PageFrame* f : victims) {
     uint64_t vpn = f->vpn;  // Unmap preserved frame->vpn for writeback routing
@@ -507,14 +510,18 @@ size_t Kernel::CountDirtyForWriteback(const std::vector<PageFrame*>& victims) {
   return dirty;
 }
 
-std::vector<uint64_t> Kernel::CollectWritebackSlots(const std::vector<PageFrame*>& victims) {
+MAGESIM_HOT_PATH std::vector<uint64_t> Kernel::CollectWritebackSlots(const std::vector<PageFrame*>& victims) {
   FleetManager* fleet = resilience_->fleet();
   std::vector<uint64_t> slots;
+  // magesim-lint: allow(hotpath-alloc): batch-local scratch, one exact-sized
+  // reserve per batch; models the evictor's per-batch slot array, whose cost
+  // is inside the modeled scan_per_page budget.
   slots.reserve(victims.size());
   for (PageFrame* f : victims) {
     uint64_t vpn = f->vpn;  // Unmap preserved frame->vpn for writeback routing
     uint64_t slot = swap_ != nullptr ? pt_->At(vpn).swap_slot : vpn;
     if (f->dirty || !remote_valid_[vpn] || !fleet->HasLiveCopy(slot)) {
+      // magesim-lint: allow(hotpath-alloc): within the capacity reserved above.
       slots.push_back(slot);
       remote_valid_[vpn] = true;
     } else {
@@ -533,7 +540,7 @@ uint64_t Kernel::FleetSlotOf(uint64_t vpn) const {
   return slot == kNoSwapSlot ? vpn : slot;
 }
 
-std::shared_ptr<RdmaCompletion> Kernel::PostWriteback(const std::vector<PageFrame*>& victims) {
+MAGESIM_HOT_PATH std::shared_ptr<RdmaCompletion> Kernel::PostWriteback(const std::vector<PageFrame*>& victims) {
   size_t dirty = CountDirtyForWriteback(victims);
   std::shared_ptr<RdmaCompletion> last;
   for (size_t i = 0; i < dirty; ++i) {
@@ -542,9 +549,13 @@ std::shared_ptr<RdmaCompletion> Kernel::PostWriteback(const std::vector<PageFram
   return last;
 }
 
-Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t batch,
+// magesim-lint: allow(coroutine-ref-capture): sync_attr points at the
+// caller's frame (or kernel-lifetime stats) and callers co_await inline.
+MAGESIM_HOT_PATH Task<size_t> Kernel::EvictBatchSequential(int evictor_id, CoreId core, size_t batch,
                                           Breakdown* sync_attr, SpanHandle parent) {
   std::vector<PageFrame*> victims;
+  // magesim-lint: allow(hotpath-alloc): batch-local scratch, one exact-sized
+  // reserve per batch (IsolateBatch fills it in place, never grows it).
   victims.reserve(batch);
   // Open before victim prep so the unmap/uncharge leaves (and the tenant
   // headroom releases inside them) land under this batch span. When called

@@ -14,11 +14,12 @@
 #include "src/paging/kernel.h"
 #include "src/resilience/resilient_rdma.h"
 #include "src/sim/engine.h"
+#include "src/sim/hot_path.h"
 #include "src/trace/trace.h"
 
 namespace magesim {
 
-Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
+MAGESIM_HOT_PATH Task<> Kernel::PipelinedEvictorMain(int evictor_id, CoreId core) {
   Engine& eng = Engine::current();
   if (LockAnalyzer* la = LockAnalyzer::Active()) {
     // Unbound (-1): evictors legitimately touch other cores' structures.

@@ -25,6 +25,8 @@ Task<bool> RebuildDriver::AwaitOp(std::shared_ptr<RdmaCompletion> c) {
   co_return c->done() && c->ok();
 }
 
+// magesim-lint: allow(coroutine-ref-capture): burst_pages points into the
+// driver's RunRebuild frame, which co_awaits every RepairOne before exiting.
 Task<> RebuildDriver::RepairOne(uint64_t slot, SpanHandle span,
                                 uint64_t* burst_pages) {
   for (int attempt = 0; attempt < opt_.max_attempts; ++attempt) {

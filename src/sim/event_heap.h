@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/hot_path.h"
+
 namespace magesim {
 
 // Min-heap: Less(a, b) means a is extracted before b. Less must be a strict
@@ -38,8 +40,10 @@ class DAryHeap {
     return v_.front();
   }
 
-  void push(T x) {
+  MAGESIM_HOT_PATH void push(T x) {
     size_t i = v_.size();
+    // magesim-lint: allow(hotpath-alloc): reserve()d to the event-count
+    // high-water mark at engine start; steady-state pushes never grow.
     v_.push_back(std::move(x));
     // Sift up.
     while (i > 0) {
@@ -50,7 +54,7 @@ class DAryHeap {
     }
   }
 
-  void pop() {
+  MAGESIM_HOT_PATH void pop() {
     assert(!v_.empty());
     v_.front() = std::move(v_.back());
     v_.pop_back();

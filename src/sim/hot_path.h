@@ -1,0 +1,34 @@
+// MAGESIM_HOT_PATH: marks a function as part of the simulator's allocation-
+// free hot path (the fault-in path, both evictor mains and their batch
+// stages, the event heap, the ring queue, and the slab-backed coroutine
+// promise types).
+//
+// The marker is consumed by static analysis, not by the optimizer:
+//  * tools/tidy (the magesim clang-tidy plugin) attaches a
+//    [[clang::annotate("magesim_hot_path")]] attribute that the
+//    `magesim-hotpath-alloc` check reads; `new`, make_shared/make_unique,
+//    and growth-capable container mutation inside an annotated function are
+//    compile-time findings.
+//  * tools/tidy/magesim_tidy_lite.py (the toolchain-free fallback) matches
+//    the macro token itself, so annotations are enforced even on builds
+//    without LLVM dev packages (including plain gcc CI legs).
+//
+// Violations that are deliberate — a pre-reserved vector whose push_back
+// never grows in steady state, setup work gated behind a one-time branch —
+// carry an inline justification:
+//
+//   v_.push_back(x);  // magesim-lint: allow(hotpath-alloc): reserve()d at start
+//
+// Allowlist policy: docs/INTERNALS.md §15 "Project lint pass".
+#ifndef MAGESIM_SIM_HOT_PATH_H_
+#define MAGESIM_SIM_HOT_PATH_H_
+
+#if defined(__clang__)
+#define MAGESIM_HOT_PATH [[clang::annotate("magesim_hot_path")]]
+#else
+// gcc warns on unknown scoped attributes under -Wall (-Werror in CI), and
+// the lite checker keys on the token, not the attribute: expand to nothing.
+#define MAGESIM_HOT_PATH
+#endif
+
+#endif  // MAGESIM_SIM_HOT_PATH_H_

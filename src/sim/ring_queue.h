@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/hot_path.h"
+
 namespace magesim {
 
 template <typename T>
@@ -32,13 +34,13 @@ class RingQueue {
     return buf_[head_];
   }
 
-  void push_back(T x) {
+  MAGESIM_HOT_PATH void push_back(T x) {
     if (count_ == buf_.size()) Grow();
     buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(x);
     ++count_;
   }
 
-  void pop_front() {
+  MAGESIM_HOT_PATH void pop_front() {
     assert(count_ > 0);
     buf_[head_] = T{};  // release resources held by the slot
     head_ = (head_ + 1) & (buf_.size() - 1);

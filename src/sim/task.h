@@ -20,6 +20,7 @@
 #include <exception>
 #include <utility>
 
+#include "src/sim/hot_path.h"
 #include "src/sim/slab_alloc.h"
 
 namespace magesim {
@@ -35,9 +36,9 @@ class TaskPromiseBase {
   // simulated activity step); route them through the slab allocator. Frame
   // allocation looks these up in the promise_type's scope, which includes
   // this base in every Task<T>::promise_type.
-  static void* operator new(std::size_t n) { return SlabAllocator::Allocate(n); }
-  static void operator delete(void* p, std::size_t) { SlabAllocator::Deallocate(p); }
-  static void operator delete(void* p) { SlabAllocator::Deallocate(p); }
+  MAGESIM_HOT_PATH static void* operator new(std::size_t n) { return SlabAllocator::Allocate(n); }
+  MAGESIM_HOT_PATH static void operator delete(void* p, std::size_t) { SlabAllocator::Deallocate(p); }
+  MAGESIM_HOT_PATH static void operator delete(void* p) { SlabAllocator::Deallocate(p); }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

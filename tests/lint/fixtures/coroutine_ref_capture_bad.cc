@@ -1,0 +1,33 @@
+// Known-bad fixture for magesim-coroutine-ref-capture: by-ref state that
+// lives across a suspension point in a coroutine.
+#include "fixture_support.h"
+
+namespace magesim_fixture {
+
+using magesim::Task;
+
+// Pointer parameter dereferenced after the first co_await: if the task is
+// ever detached, the caller frame (and *counter) may be gone.
+Task<> BumpAfterAwait(int* counter) {  // magesim-expect: coroutine-ref-capture
+  co_await Task<>{};
+  ++*counter;
+}
+
+// Reference parameter used after the first co_await.
+Task<> StoreAfterAwait(long& slot, long v) {  // magesim-expect: coroutine-ref-capture
+  co_await Task<>{};
+  slot = v;
+}
+
+Task<> ByRefLambda() {
+  int local = 0;
+  auto work = [&]() -> Task<> {  // magesim-expect: coroutine-ref-capture
+    co_await Task<>{};
+    ++local;
+    co_return;
+  };
+  co_await work();
+  co_return;
+}
+
+}  // namespace magesim_fixture

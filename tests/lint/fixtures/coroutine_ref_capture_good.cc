@@ -1,0 +1,49 @@
+// Known-good fixture for magesim-coroutine-ref-capture: the safe idioms —
+// by-value state, machine-lifetime referents, pre-suspension-only use,
+// value captures, and a justified allow.
+#include "fixture_support.h"
+
+namespace magesim_fixture {
+
+using magesim::Kernel;
+using magesim::Task;
+
+// By-value parameters are copied into the coroutine frame: always safe.
+Task<> ByValue(long v) {
+  co_await Task<>{};
+  (void)v;
+}
+
+// Machine-lifetime referent (LongLivedTypes): outlives every task.
+Task<> LongLived(Kernel* kernel) {
+  co_await Task<>{};
+  kernel->Touch();
+}
+
+// Pointer used only before the first suspension: nothing dangles.
+Task<> UseBeforeAwait(int* counter) {
+  ++*counter;
+  co_await Task<>{};
+}
+
+// Value capture: copied into the lambda object before the coroutine starts.
+Task<> ValueCaptureLambda() {
+  int local = 7;
+  auto work = [local]() -> Task<> {
+    co_await Task<>{};
+    (void)local;
+    co_return;
+  };
+  co_await work();
+  co_return;
+}
+
+// Justified: the caller structurally co_awaits this task inline.
+// magesim-lint: allow(coroutine-ref-capture): out points into the caller's
+// frame and every caller co_awaits inline (never detached).
+Task<> Justified(long* out) {
+  co_await Task<>{};
+  *out = 1;
+}
+
+}  // namespace magesim_fixture

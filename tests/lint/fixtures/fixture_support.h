@@ -1,0 +1,87 @@
+// Minimal self-contained stand-ins for the magesim types the lint fixtures
+// exercise. The fixtures must compile as bare translation units (clang-tidy
+// parses them with no project include path beyond this directory), so the
+// real Task/SimMutex/GuardedBy machinery is reduced to the shapes the
+// magesim-* checks key on: names, method spellings, and coroutine-ness.
+//
+// This header itself must stay clean under every magesim-* check — the
+// fixture harness scans it along with the fixtures.
+#ifndef MAGESIM_TESTS_LINT_FIXTURES_FIXTURE_SUPPORT_H_
+#define MAGESIM_TESTS_LINT_FIXTURES_FIXTURE_SUPPORT_H_
+
+#include <coroutine>
+#include <cstddef>
+
+#if defined(__clang__)
+#define MAGESIM_HOT_PATH [[clang::annotate("magesim_hot_path")]]
+#else
+#define MAGESIM_HOT_PATH
+#endif
+
+namespace magesim {
+
+// Coroutine return type: enough for `co_await`/`co_return` to parse and for
+// the plugin's coawaitExpr() matchers to fire.
+template <typename T = void>
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() { return Task{}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() {}
+  };
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+// Mutex stand-in with the acquisition spellings guardedby-static recognizes.
+class SimMutex {
+ public:
+  struct ScopedAwaiter {
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    int await_resume() const noexcept { return 0; }
+  };
+  ScopedAwaiter Scoped() { return {}; }
+  void AssertHeld() const {}
+};
+
+// GuardedBy with the real Locked()/Unsafe() API and the in-class-initializer
+// idiom (`GuardedBy<T> f_{mu_};`) the check resolves the mutex from.
+template <typename T>
+class GuardedBy {
+ public:
+  explicit GuardedBy(SimMutex& m) : mu_(&m) {}
+  T& Locked() { return v_; }
+  const T& Locked() const { return v_; }
+  T& Unsafe() { return v_; }
+  const T& Unsafe() const { return v_; }
+
+ private:
+  SimMutex* mu_;
+  T v_;
+};
+
+// Growth-amortized container: receivers of this type are exempt from
+// hotpath-alloc by name (AllowedContainersRegex / ALLOWED_CONTAINER_TYPES).
+template <typename T>
+class RingQueue {
+ public:
+  void push_back(T) {}
+  void pop_front() {}
+  std::size_t size() const { return 0; }
+};
+
+// Machine-lifetime type: pointers/references to it are exempt from
+// coroutine-ref-capture (LongLivedTypes).
+class Kernel {
+ public:
+  void Touch() {}
+};
+
+}  // namespace magesim
+
+#endif  // MAGESIM_TESTS_LINT_FIXTURES_FIXTURE_SUPPORT_H_

@@ -1,0 +1,40 @@
+// Known-bad fixture for magesim-guardedby-static: Locked() access with no
+// acquisition of the named mutex lexically in scope, and Unsafe() with no
+// adjacent justification comment.
+#include <vector>
+
+#include "fixture_support.h"
+
+namespace magesim_fixture {
+
+using magesim::GuardedBy;
+using magesim::SimMutex;
+using magesim::Task;
+
+class Queues {
+ public:
+  Task<> DrainWithoutLock() {
+    pending_.Locked().pop_back();  // magesim-expect: guardedby-static
+    co_return;
+  }
+
+  Task<> WrongLock() {
+    auto g = co_await other_mu_.Scoped();
+    pending_.Locked().pop_back();  // magesim-expect: guardedby-static
+    co_return;
+  }
+
+  std::size_t UnjustifiedUnsafe() {
+    // magesim-expect+2: guardedby-static
+    std::size_t n = 0;
+    n = pending_.Unsafe().size();
+    return n;
+  }
+
+ private:
+  SimMutex mu_;
+  SimMutex other_mu_;
+  GuardedBy<std::vector<int>> pending_{mu_};
+};
+
+}  // namespace magesim_fixture

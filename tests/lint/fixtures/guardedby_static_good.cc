@@ -1,0 +1,45 @@
+// Known-good fixture for magesim-guardedby-static: Locked() behind a scoped
+// acquisition or a held-assertion of the right mutex, and Unsafe() with a
+// justification comment.
+#include <vector>
+
+#include "fixture_support.h"
+
+namespace magesim_fixture {
+
+using magesim::GuardedBy;
+using magesim::SimMutex;
+using magesim::Task;
+
+class Queues {
+ public:
+  Task<> DrainLocked() {
+    auto g = co_await mu_.Scoped();
+    pending_.Locked().pop_back();
+    co_return;
+  }
+
+  void DrainAsserted() {
+    mu_.AssertHeld();
+    pending_.Locked().pop_back();
+  }
+
+  std::size_t Depth() const {
+    // Unsafe(): size() is a single word-sized read for reporting; a stale
+    // value never steers control flow.
+    return pending_.Unsafe().size();
+  }
+
+  Task<> DrainJustified() {
+    // magesim-lint: allow(guardedby-static): single-threaded setup phase,
+    // no concurrent evictor is running yet.
+    pending_.Locked().pop_back();
+    co_return;
+  }
+
+ private:
+  SimMutex mu_;
+  GuardedBy<std::vector<int>> pending_{mu_};
+};
+
+}  // namespace magesim_fixture

@@ -1,0 +1,26 @@
+// Known-bad fixture for magesim-hotpath-alloc: allocation inside functions
+// annotated MAGESIM_HOT_PATH.
+#include <memory>
+#include <vector>
+
+#include "fixture_support.h"
+
+namespace magesim_fixture {
+
+MAGESIM_HOT_PATH int* DirectNew() {
+  return new int(7);  // magesim-expect: hotpath-alloc
+}
+
+MAGESIM_HOT_PATH long SmartAlloc() {
+  auto p = std::make_unique<long>(9);  // magesim-expect: hotpath-alloc
+  auto q = std::make_shared<long>(11);  // magesim-expect: hotpath-alloc
+  return *p + *q;
+}
+
+MAGESIM_HOT_PATH void GrowVector(std::vector<int>& v) {
+  v.push_back(1);  // magesim-expect: hotpath-alloc
+  v.emplace_back(2);  // magesim-expect: hotpath-alloc
+  v.resize(64);  // magesim-expect: hotpath-alloc
+}
+
+}  // namespace magesim_fixture

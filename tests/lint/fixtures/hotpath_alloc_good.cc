@@ -1,0 +1,43 @@
+// Known-good fixture for magesim-hotpath-alloc: unannotated code may
+// allocate freely; annotated code is fine with exempt amortized containers
+// or a justified allow.
+#include <vector>
+
+#include "fixture_support.h"
+
+namespace magesim_fixture {
+
+using magesim::RingQueue;
+
+// Setup-time code (no MAGESIM_HOT_PATH): allocation is expected here.
+std::vector<int>* BuildTable() {
+  auto* t = new std::vector<int>();
+  t->push_back(1);
+  return t;
+}
+
+// Growth-amortized magesim container receivers are exempt by type.
+class Waiters {
+ public:
+  MAGESIM_HOT_PATH void Enqueue(int w) { queue_.push_back(w); }
+  MAGESIM_HOT_PATH void Dequeue() { queue_.pop_front(); }
+
+ private:
+  RingQueue<int> queue_;
+};
+
+// Pre-reserved vector: justified with an inline allow.
+class Batch {
+ public:
+  explicit Batch(std::size_t cap) { slots_.reserve(cap); }
+  MAGESIM_HOT_PATH void Add(int s) {
+    // magesim-lint: allow(hotpath-alloc): reserve()d to batch capacity at
+    // construction; steady-state pushes never grow.
+    slots_.push_back(s);
+  }
+
+ private:
+  std::vector<int> slots_;
+};
+
+}  // namespace magesim_fixture

@@ -1,0 +1,33 @@
+// Known-bad fixture for magesim-no-wallclock: every banned wall-clock /
+// entropy source, one per line, each tagged with the finding it must raise.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace magesim_fixture {
+
+long StampUnix() {
+  return static_cast<long>(std::time(nullptr));  // magesim-expect: no-wallclock
+}
+
+long StampSteady() {
+  auto t = std::chrono::steady_clock::now();  // magesim-expect: no-wallclock
+  return t.time_since_epoch().count();
+}
+
+long StampSystem() {
+  auto t = std::chrono::system_clock::now();  // magesim-expect: no-wallclock
+  return t.time_since_epoch().count();
+}
+
+int LegacyRand() {
+  return rand();  // magesim-expect: no-wallclock
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;  // magesim-expect: no-wallclock
+  return rd();
+}
+
+}  // namespace magesim_fixture

@@ -1,0 +1,32 @@
+// Known-good fixture for magesim-no-wallclock: sim-time and seeded-RNG
+// idioms, names that merely resemble banned calls, and a justified allow.
+#include <cstdint>
+#include <ctime>
+
+namespace magesim_fixture {
+
+// Deterministic stand-ins for Engine::now() / magesim::Rng.
+inline uint64_t SimNow() { return 42; }
+
+struct Rng {
+  uint64_t state = 1;
+  uint64_t Next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+uint64_t Sample(Rng& rng) { return rng.Next(); }
+
+// Identifiers that embed banned names must not match: suffix/prefix words...
+uint64_t wait_time(uint64_t deadline) { return deadline - SimNow(); }
+struct Op {
+  uint64_t time(uint64_t t) { return t; }  // ...nor member functions
+};
+uint64_t Member(Op& op) { return op.time(7); }
+
+// A justified use is accepted when annotated.
+long ReportStamp() {
+  // magesim-lint: allow(no-wallclock): report metadata only, stripped by
+  // the determinism tests before comparison.
+  return static_cast<long>(std::time(nullptr));
+}
+
+}  // namespace magesim_fixture

@@ -1,0 +1,25 @@
+// Known-bad fixture for magesim-unordered-iteration: range-for over
+// unordered containers whose bodies reach trace/metrics/victim sinks —
+// hash order would leak into externally visible output.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace magesim_fixture {
+
+void ExportCounters(const std::unordered_map<std::string, long>& counters,
+                    std::vector<std::string>* rows) {
+  for (const auto& kv : counters) {  // magesim-expect: unordered-iteration
+    rows->push_back(kv.first);
+  }
+}
+
+void SelectVictims(const std::unordered_set<unsigned long>& resident,
+                   std::vector<unsigned long>* victims) {
+  for (unsigned long vpn : resident) {  // magesim-expect: unordered-iteration
+    if (victims->size() < 8) victims->emplace_back(vpn);
+  }
+}
+
+}  // namespace magesim_fixture

@@ -1,0 +1,38 @@
+// Known-good fixture for magesim-unordered-iteration: order-independent
+// consumption of unordered containers, ordered containers feeding sinks,
+// and a justified allow.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace magesim_fixture {
+
+// Order-independent reduction over an unordered container: fine.
+long SumCounters(const std::unordered_map<std::string, long>& counters) {
+  long total = 0;
+  for (const auto& kv : counters) {
+    total += kv.second;
+  }
+  return total;
+}
+
+// Ordered container feeding a sink: iteration order is deterministic.
+void ExportSorted(const std::map<std::string, long>& by_name,
+                  std::vector<std::string>* rows) {
+  for (const auto& kv : by_name) {
+    rows->push_back(kv.first);
+  }
+}
+
+// Unordered-to-sink, justified: the consumer sorts before emitting.
+void ExportUnsorted(const std::unordered_map<std::string, long>& counters,
+                    std::vector<std::string>* rows) {
+  // magesim-lint: allow(unordered-iteration): consumer sorts `rows` before
+  // any output; collection order is not observable.
+  for (const auto& kv : counters) {
+    rows->push_back(kv.first);
+  }
+}
+
+}  // namespace magesim_fixture

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Fixture harness for the magesim-* lint checks.
+
+Each fixture in tests/lint/fixtures/ is a known-bad or known-good input for
+one check. Expected findings are annotated in-place:
+
+  v.push_back(1);  // magesim-expect: hotpath-alloc
+  // magesim-expect+2: guardedby-static   <- finding expected 2 lines below
+
+The harness runs an analyzer over the fixtures and asserts the finding set
+equals the expectation set exactly — a missing finding is a false negative,
+an unannotated finding is a false positive; both fail.
+
+Modes:
+  --mode lite    run tools/tidy/magesim_tidy_lite.py (no toolchain needed)
+  --mode plugin  run clang-tidy with -load libMagesimTidy.so; exits 77
+                 (ctest SKIP_RETURN_CODE) when clang-tidy or the built
+                 plugin is unavailable, so trees without LLVM dev packages
+                 skip rather than fail.
+
+Fixtures are copied to a temp directory before analysis: the path must not
+contain a tests/ component, or the no-wallclock file allowlist (which
+exempts test code) would blind that check.
+
+Exit status: 0 pass, 1 expectation mismatch, 2 setup error, 77 skip.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+LITE = os.path.join(REPO_ROOT, "tools", "tidy", "magesim_tidy_lite.py")
+
+EXPECT_RE = re.compile(r"magesim-expect(?:\+(\d+))?:\s*([\w, -]+)")
+FINDING_RE = re.compile(r"^(.+?):(\d+):\d+:\s+warning:.*\[magesim-([\w-]+)\]")
+
+SKIP = 77
+
+
+def parse_expectations(fixture_dir):
+    """{(basename, line, slug)} from magesim-expect annotations."""
+    expected = set()
+    for name in sorted(os.listdir(fixture_dir)):
+        if not name.endswith((".cc", ".h")):
+            continue
+        path = os.path.join(fixture_dir, name)
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, text in enumerate(f, start=1):
+                m = EXPECT_RE.search(text)
+                if m is None:
+                    continue
+                offset = int(m.group(1) or 0)
+                for slug in m.group(2).split(","):
+                    expected.add((name, lineno + offset, slug.strip()))
+    return expected
+
+
+def parse_findings(output):
+    found = set()
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if m is not None:
+            found.add((os.path.basename(m.group(1)), int(m.group(2)),
+                       m.group(3)))
+    return found
+
+
+def run_lite(tmp_dir):
+    cc = sorted(os.path.join(tmp_dir, n) for n in os.listdir(tmp_dir)
+                if n.endswith((".cc", ".h")))
+    proc = subprocess.run([sys.executable, LITE] + cc,
+                          capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        print(proc.stdout, proc.stderr, sep="\n", file=sys.stderr)
+        print("lint-fixtures: lite analyzer failed (exit %d)"
+              % proc.returncode, file=sys.stderr)
+        sys.exit(2)
+    return parse_findings(proc.stdout)
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for cand in ["clang-tidy"] + ["clang-tidy-%d" % v
+                                  for v in range(21, 13, -1)]:
+        if shutil.which(cand):
+            return cand
+    return None
+
+
+def find_plugin(explicit):
+    if explicit:
+        return explicit if os.path.exists(explicit) else None
+    for sub in ("build", "build-tidy", os.path.join("build", "tools", "tidy"),
+                os.path.join("build-tidy", "tools", "tidy")):
+        cand = os.path.join(REPO_ROOT, sub, "libMagesimTidy.so")
+        if os.path.exists(cand):
+            return cand
+    return None
+
+
+def run_plugin(tmp_dir, clang_tidy, plugin):
+    out = []
+    for name in sorted(os.listdir(tmp_dir)):
+        if not name.endswith(".cc"):
+            continue
+        proc = subprocess.run(
+            [clang_tidy, "-load", plugin, "--checks=-*,magesim-*",
+             "--header-filter=.*", os.path.join(tmp_dir, name),
+             "--", "-std=c++20", "-I", tmp_dir],
+            capture_output=True, text=True)
+        # clang-tidy exits non-zero on warnings only with -warnings-as-errors;
+        # a hard failure (bad -load, compile error) surfaces on stderr.
+        if proc.returncode not in (0, 1) or "error:" in proc.stderr:
+            print(proc.stdout, proc.stderr, sep="\n", file=sys.stderr)
+            print("lint-fixtures: clang-tidy failed on %s" % name,
+                  file=sys.stderr)
+            sys.exit(2)
+        out.append(proc.stdout)
+    return parse_findings("\n".join(out))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--fixtures", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "fixtures"))
+    ap.add_argument("--mode", choices=("lite", "plugin"), default="lite")
+    ap.add_argument("--plugin", default=None,
+                    help="path to libMagesimTidy.so (plugin mode)")
+    ap.add_argument("--clang-tidy", dest="clang_tidy", default=None)
+    # ctest passes a literal empty argument when the $<TARGET_EXISTS:...>
+    # generator expression for --plugin collapses to nothing; drop it.
+    args = ap.parse_args([a for a in argv if a])
+
+    if not os.path.isdir(args.fixtures):
+        print("lint-fixtures: no fixture dir at %s" % args.fixtures,
+              file=sys.stderr)
+        return 2
+
+    expected = parse_expectations(args.fixtures)
+    if not expected:
+        print("lint-fixtures: fixtures contain no magesim-expect "
+              "annotations; refusing to vacuously pass", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="magesim_lint_") as tmp_dir:
+        for name in sorted(os.listdir(args.fixtures)):
+            if name.endswith((".cc", ".h")):
+                shutil.copy(os.path.join(args.fixtures, name), tmp_dir)
+
+        if args.mode == "lite":
+            found = run_lite(tmp_dir)
+        else:
+            clang_tidy = find_clang_tidy(args.clang_tidy)
+            plugin = find_plugin(args.plugin)
+            if clang_tidy is None or plugin is None:
+                print("lint-fixtures: skip — %s not available" %
+                      ("clang-tidy" if clang_tidy is None
+                       else "libMagesimTidy.so"))
+                return SKIP
+            found = run_plugin(tmp_dir, clang_tidy, plugin)
+
+    missing = sorted(expected - found)
+    unexpected = sorted(found - expected)
+    for f, line, slug in missing:
+        print("MISSING    %s:%d [magesim-%s] (expected, not reported)"
+              % (f, line, slug))
+    for f, line, slug in unexpected:
+        print("UNEXPECTED %s:%d [magesim-%s] (reported, not expected)"
+              % (f, line, slug))
+    if missing or unexpected:
+        print("lint-fixtures: FAIL (%d missing, %d unexpected; mode=%s)"
+              % (len(missing), len(unexpected), args.mode))
+        return 1
+    print("lint-fixtures: PASS (%d expectations, mode=%s)"
+          % (len(expected), args.mode))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

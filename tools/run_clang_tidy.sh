@@ -4,23 +4,39 @@
 # on by default).
 #
 # Usage:
-#   tools/run_clang_tidy.sh [build-dir] [--dump FILE] [files...]
+#   tools/run_clang_tidy.sh [build-dir] [--dump FILE] [--checks GLOB] [files...]
 #
 #   build-dir   directory containing compile_commands.json (default: build)
 #   --dump FILE additionally write normalized findings (path:line [check])
 #               to FILE — the CI job diffs this against the main branch so
 #               only *new* findings fail a PR.
-#   files...    restrict to specific sources (default: src/ examples/ bench/)
+#   --checks GLOB
+#               extra check glob. 'magesim-*' selects the fast project-lint
+#               mode: ONLY the magesim checks run, over src/ by default
+#               (the project invariants are scoped to the simulator tree —
+#               docs/INTERNALS.md §15). Other globs are appended to the
+#               .clang-tidy check set.
+#   files...    restrict to specific sources (default: src/ examples/ bench/;
+#               src/ in magesim-only mode)
+#
+# The magesim checks come from the clang-tidy plugin (tools/tidy). When the
+# plugin target was configured (LLVM/Clang dev packages present) it is built
+# on demand and loaded with -load; otherwise the magesim-only mode falls
+# back to tools/tidy/magesim_tidy_lite.py, and the full run proceeds with
+# the stock checks alone after a notice.
 #
 # Exits 0 when clang-tidy finds nothing, 1 on findings, 2 on setup errors.
-# When clang-tidy is not installed the script reports and exits 0 so local
-# workflows without LLVM don't break; CI installs it explicitly.
+# When clang-tidy is not installed the script reports and exits 0 (the
+# magesim-only mode still runs via the lite analyzer); CI installs it
+# explicitly.
 set -u
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 DUMP_FILE=""
+CHECKS=""
+MAGESIM_ONLY=0
 FILES=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -28,6 +44,14 @@ while [ $# -gt 0 ]; do
       shift
       [ $# -gt 0 ] || { echo "--dump needs a file argument" >&2; exit 2; }
       DUMP_FILE=$1
+      ;;
+    --checks)
+      shift
+      [ $# -gt 0 ] || { echo "--checks needs a glob argument" >&2; exit 2; }
+      CHECKS=$1
+      case "$CHECKS" in
+        magesim-*|-\*,magesim-*) MAGESIM_ONLY=1 ;;
+      esac
       ;;
     --*)
       echo "unknown option: $1" >&2
@@ -44,8 +68,65 @@ while [ $# -gt 0 ]; do
   shift
 done
 
+# Locate (building on demand) the magesim-tidy plugin. Prints the path when
+# available; fails silently when the target was never configured (no LLVM
+# dev packages) or the build breaks.
+find_plugin() {
+  local p
+  for p in "$BUILD_DIR/tools/tidy/libMagesimTidy.so" \
+           "$BUILD_DIR/libMagesimTidy.so" \
+           build-tidy/libMagesimTidy.so; do
+    [ -f "$p" ] && { echo "$p"; return 0; }
+  done
+  if cmake --build "$BUILD_DIR" --target MagesimTidy >/dev/null 2>&1; then
+    for p in "$BUILD_DIR/tools/tidy/libMagesimTidy.so" \
+             "$BUILD_DIR/libMagesimTidy.so"; do
+      [ -f "$p" ] && { echo "$p"; return 0; }
+    done
+  fi
+  return 1
+}
+
+EXPLICIT_FILES=1
+if [ ${#FILES[@]} -eq 0 ]; then
+  EXPLICIT_FILES=0
+  if [ "$MAGESIM_ONLY" = 1 ]; then
+    # The magesim invariants gate the simulator tree; bench/examples follow
+    # harness idiom (wall-clock groups, caller-frame out-params) by design.
+    mapfile -t FILES < <(find src -name '*.cc' -o -name '*.cpp' | sort)
+  else
+    # Main-tree translation units only: tests use gtest macros that trip
+    # bugprone checks by design, and goldens/benches follow test idiom.
+    mapfile -t FILES < <(find src examples bench -name '*.cc' -o -name '*.cpp' | sort)
+  fi
+fi
+
 TIDY=${CLANG_TIDY:-clang-tidy}
-if ! command -v "$TIDY" >/dev/null 2>&1; then
+HAVE_TIDY=1
+command -v "$TIDY" >/dev/null 2>&1 || HAVE_TIDY=0
+
+PLUGIN=""
+if [ "$HAVE_TIDY" = 1 ]; then
+  PLUGIN=$(find_plugin || true)
+fi
+
+if [ "$MAGESIM_ONLY" = 1 ] && { [ "$HAVE_TIDY" = 0 ] || [ -z "$PLUGIN" ]; }; then
+  # Fast mode without the plugin: the lite analyzer implements the same five
+  # checks (same defaults, same allow syntax) with no toolchain requirement.
+  echo "run_clang_tidy: magesim plugin unavailable; using magesim_tidy_lite" >&2
+  LITE_ARGS=()
+  [ -n "$DUMP_FILE" ] && LITE_ARGS+=(--dump "$DUMP_FILE")
+  if [ "$EXPLICIT_FILES" = 0 ]; then
+    # Whole tree, headers included — the lite analyzer reads sources
+    # directly, unlike clang-tidy which reaches headers through TUs.
+    exec python3 tools/tidy/magesim_tidy_lite.py --checks "$CHECKS" \
+         "${LITE_ARGS[@]}" --root src
+  fi
+  exec python3 tools/tidy/magesim_tidy_lite.py --checks "$CHECKS" \
+       "${LITE_ARGS[@]}" "${FILES[@]}"
+fi
+
+if [ "$HAVE_TIDY" = 0 ]; then
   echo "run_clang_tidy: $TIDY not installed; skipping (CI installs it)" >&2
   exit 0
 fi
@@ -56,17 +137,25 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   exit 2
 fi
 
-if [ ${#FILES[@]} -eq 0 ]; then
-  # Main-tree translation units only: tests use gtest macros that trip
-  # bugprone checks by design, and goldens/benches follow test idiom.
-  mapfile -t FILES < <(find src examples bench -name '*.cc' -o -name '*.cpp' | sort)
+TIDY_ARGS=(-p "$BUILD_DIR" --quiet)
+if [ "$MAGESIM_ONLY" = 1 ]; then
+  TIDY_ARGS+=(-load "$PLUGIN" --checks="-*,magesim-*")
+elif [ -n "$PLUGIN" ]; then
+  # Full run with the plugin available: stock checks plus the magesim set
+  # (-checks appends to the .clang-tidy Checks value).
+  TIDY_ARGS+=(-load "$PLUGIN" --checks="${CHECKS:-magesim-*}")
+elif [ -n "$CHECKS" ]; then
+  TIDY_ARGS+=(--checks="$CHECKS")
+else
+  echo "run_clang_tidy: magesim plugin not built (no LLVM dev packages?);" \
+       "running stock checks only" >&2
 fi
 
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 
 STATUS=0
-"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}" >"$OUT" 2>/dev/null || STATUS=$?
+"$TIDY" "${TIDY_ARGS[@]}" "${FILES[@]}" >"$OUT" 2>/dev/null || STATUS=$?
 
 # Keep only findings (path:line:col: warning/error: ... [check]); drop the
 # "N warnings generated" chatter and system-header noise clang-tidy lets

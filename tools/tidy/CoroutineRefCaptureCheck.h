@@ -1,0 +1,52 @@
+// magesim-coroutine-ref-capture: use-after-suspend hazards in coroutines.
+//
+// A coroutine frame outlives the call expression that created it. Anything
+// the frame holds by reference — a by-reference lambda capture, a reference
+// or pointer parameter — may dangle the moment the coroutine suspends and
+// the creator's scope unwinds (the detached-Task pattern: Engine::Spawn).
+//
+// Flagged:
+//  * lambda coroutines (body contains co_await) with a by-reference default
+//    capture or any explicit by-reference/this capture;
+//  * rvalue-reference parameters used after the first co_await (the bound
+//    temporary dies with the caller's full-expression);
+//  * lvalue-reference / pointer parameters used after the first co_await,
+//    unless the pointee type is in LongLivedTypes — machine-lifetime objects
+//    (Engine, Kernel, PageFrame, ...) that outlive every coroutine by
+//    construction, the codebase's dominant safe idiom.
+//
+// "Used after the first co_await" is lexical (source order), matching the
+// lite fallback; structured callers that co_await the child immediately keep
+// the referent alive and annotate the remaining sites with
+// `// magesim-lint: allow(coroutine-ref-capture): <reason>`.
+#ifndef MAGESIM_TOOLS_TIDY_COROUTINE_REF_CAPTURE_CHECK_H_
+#define MAGESIM_TOOLS_TIDY_COROUTINE_REF_CAPTURE_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <vector>
+
+namespace clang {
+namespace tidy {
+namespace magesim {
+
+class CoroutineRefCaptureCheck : public ClangTidyCheck {
+ public:
+  CoroutineRefCaptureCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  bool IsLongLived(QualType Pointee) const;
+
+  const bool CheckParameters;
+  const std::string LongLivedTypesStr;
+  std::vector<std::string> LongLivedTypes;
+};
+
+}  // namespace magesim
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // MAGESIM_TOOLS_TIDY_COROUTINE_REF_CAPTURE_CHECK_H_

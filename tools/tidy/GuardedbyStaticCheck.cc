@@ -1,0 +1,161 @@
+#include "GuardedbyStaticCheck.h"
+
+#include "LintAllow.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+#include "llvm/ADT/StringExtras.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace magesim {
+
+GuardedbyStaticCheck::GuardedbyStaticCheck(StringRef Name,
+                                           ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RequireUnsafeJustification(
+          Options.get("RequireUnsafeJustification", true)) {}
+
+void GuardedbyStaticCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "RequireUnsafeJustification", RequireUnsafeJustification);
+}
+
+void GuardedbyStaticCheck::registerMatchers(MatchFinder *Finder) {
+  auto GuardedByClass = cxxRecordDecl(hasName("GuardedBy"));
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasName("Locked"),
+                                             ofClass(GuardedByClass))),
+                        forFunction(functionDecl().bind("f")))
+          .bind("locked"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasName("Unsafe"),
+                                             ofClass(GuardedByClass))))
+          .bind("unsafe"),
+      this);
+}
+
+// The member the GuardedBy field names as its mutex, from the field's
+// in-class initializer (`GuardedBy<T> f_{lock_};`). Empty when the
+// initializer is absent or does not name a member/variable directly.
+static std::string MutexNameOfField(const Expr *BaseOfCall,
+                                    ASTContext &Ctx) {
+  const auto *ME = dyn_cast_or_null<MemberExpr>(
+      BaseOfCall != nullptr ? BaseOfCall->IgnoreParenImpCasts() : nullptr);
+  if (ME == nullptr)
+    return {};
+  const auto *FD = dyn_cast_or_null<FieldDecl>(ME->getMemberDecl());
+  if (FD == nullptr || !FD->hasInClassInitializer())
+    return {};
+  const Expr *Init = FD->getInClassInitializer();
+  if (Init == nullptr)
+    return {};
+  // First named reference inside the initializer is the mutex argument.
+  auto Refs = match(
+      findAll(expr(anyOf(memberExpr().bind("m"), declRefExpr().bind("d")))),
+      *Init, Ctx);
+  for (const auto &BN : Refs) {
+    if (const auto *M = BN.getNodeAs<MemberExpr>("m"))
+      if (const ValueDecl *VD = M->getMemberDecl())
+        return VD->getNameAsString();
+    if (const auto *D = BN.getNodeAs<DeclRefExpr>("d"))
+      if (const ValueDecl *VD = D->getDecl())
+        return VD->getNameAsString();
+  }
+  return {};
+}
+
+void GuardedbyStaticCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  const LangOptions &LO = Result.Context->getLangOpts();
+
+  if (const auto *Unsafe =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("unsafe")) {
+    if (!RequireUnsafeJustification)
+      return;
+    SourceLocation Loc = Unsafe->getBeginLoc();
+    if (Loc.isInvalid() || SM.isInSystemHeader(Loc))
+      return;
+    if (LineHasAllow(SM, Loc, "guardedby-static"))
+      return;
+    // Any adjacent comment counts as the justification the Unsafe() API
+    // doc demands.
+    SourceLocation Exp = SM.getExpansionLoc(Loc);
+    FileID FID = SM.getFileID(Exp);
+    unsigned Line = SM.getExpansionLineNumber(Exp);
+    auto HasComment = [&](unsigned L) {
+      llvm::StringRef T = FileLineText(SM, FID, L);
+      return T.contains("//") || T.contains("/*");
+    };
+    if (HasComment(Line) || (Line > 1 && HasComment(Line - 1)))
+      return;
+    diag(Loc, "unchecked GuardedBy access (.Unsafe()) without an adjacent "
+              "justification comment; say why lock-free access is safe here");
+    return;
+  }
+
+  const auto *Locked = Result.Nodes.getNodeAs<CXXMemberCallExpr>("locked");
+  const auto *F = Result.Nodes.getNodeAs<FunctionDecl>("f");
+  if (Locked == nullptr || F == nullptr || F->getBody() == nullptr)
+    return;
+  SourceLocation Loc = Locked->getBeginLoc();
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc))
+    return;
+  if (LineHasAllow(SM, Loc, "guardedby-static"))
+    return;
+
+  std::string Mutex =
+      MutexNameOfField(Locked->getImplicitObjectArgument(), *Result.Context);
+
+  // Function-body text from the opening brace up to the access: the guard
+  // must be acquired (or asserted) lexically before the guarded access.
+  SourceLocation BodyBegin = SM.getExpansionLoc(F->getBody()->getBeginLoc());
+  SourceLocation AccessLoc = SM.getExpansionLoc(Loc);
+  if (!SM.isBeforeInTranslationUnit(BodyBegin, AccessLoc))
+    return;
+  CharSourceRange Range = CharSourceRange::getCharRange(BodyBegin, AccessLoc);
+  llvm::StringRef Before = Lexer::getSourceText(Range, SM, LO);
+
+  // Token-anchored contains: `mu_.Scoped` must not match inside
+  // `other_mu_.Scoped`. Mirrors the lite fallback.
+  auto ContainsToken = [&](llvm::StringRef Needle) {
+    size_t Pos = 0;
+    while ((Pos = Before.find(Needle, Pos)) != llvm::StringRef::npos) {
+      if (Pos == 0 || (!llvm::isAlnum(Before[Pos - 1]) &&
+                       Before[Pos - 1] != '_'))
+        return true;
+      ++Pos;
+    }
+    return false;
+  };
+  auto Acquires = [&](llvm::StringRef Name) {
+    return ContainsToken((Name + ".Scoped").str()) ||
+           ContainsToken((Name + ".Acquire").str()) ||
+           ContainsToken((Name + ".AssertHeld").str()) ||
+           Before.contains(("MAGESIM_ASSERT_HELD(" + Name).str()) ||
+           Before.contains(("MAGESIM_GUARDED_BY(" + Name).str());
+  };
+  bool Held;
+  if (!Mutex.empty()) {
+    Held = Acquires(Mutex);
+  } else {
+    // Mutex unresolvable: accept any lexical acquisition in scope.
+    Held = Before.contains(".Scoped") || Before.contains(".Acquire") ||
+           Before.contains("AssertHeld") ||
+           Before.contains("MAGESIM_ASSERT_HELD") ||
+           Before.contains("MAGESIM_GUARDED_BY");
+  }
+  if (Held)
+    return;
+  diag(Loc, "GuardedBy field accessed via Locked() but no acquisition of "
+            "'%0' is lexically in scope before it; take the lock "
+            "(co_await %0.Scoped()), assert it, or justify with "
+            "'// magesim-lint: allow(guardedby-static): <reason>'")
+      << (Mutex.empty() ? StringRef("its mutex") : StringRef(Mutex));
+}
+
+}  // namespace magesim
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,45 @@
+// magesim-guardedby-static: lexical lock-scope matching for GuardedBy<T>
+// fields.
+//
+// PR 4's lock-discipline analyzer enforces GuardedBy at *runtime*, on paths
+// a test happens to execute. This check complements it at compile time:
+//
+//  * every `field.Locked()` access must appear in a function whose body
+//    lexically acquires the field's declared mutex *before* the access —
+//    `co_await m.Scoped()`, `co_await m.Acquire()`, `m.AssertHeld(...)`, or
+//    a MAGESIM_ASSERT_HELD on it. The mutex is resolved from the GuardedBy
+//    field's in-class initializer (`GuardedBy<T> f_{lock_};` -> `lock_`);
+//    when it cannot be resolved, any lexical acquisition in scope counts.
+//  * every `field.Unsafe()` escape must carry a justification: a comment on
+//    the same line or the line directly above (the API doc already demands
+//    one; this makes it enforced).
+//
+// Lexical matching cannot see callers (a helper that requires the lock held
+// by contract): annotate such helpers' access sites with
+// `// magesim-lint: allow(guardedby-static): <reason>` — typically "caller
+// holds <lock>, asserted at entry".
+#ifndef MAGESIM_TOOLS_TIDY_GUARDEDBY_STATIC_CHECK_H_
+#define MAGESIM_TOOLS_TIDY_GUARDEDBY_STATIC_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace magesim {
+
+class GuardedbyStaticCheck : public ClangTidyCheck {
+ public:
+  GuardedbyStaticCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const bool RequireUnsafeJustification;
+};
+
+}  // namespace magesim
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // MAGESIM_TOOLS_TIDY_GUARDEDBY_STATIC_CHECK_H_

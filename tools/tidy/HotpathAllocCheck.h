@@ -1,0 +1,47 @@
+// magesim-hotpath-alloc: allocation discipline inside MAGESIM_HOT_PATH
+// functions.
+//
+// PR 6's perf scoreboard rests on the fault/evict hot path staying
+// allocation-free in steady state: coroutine frames come from the slab,
+// queues are flat pre-reserved rings, accounting lists are intrusive. This
+// check makes the discipline a compile-time property for every function
+// annotated MAGESIM_HOT_PATH (src/sim/hot_path.h =
+// [[clang::annotate("magesim_hot_path")]]):
+//
+//  * new-expressions;
+//  * std::make_shared / std::make_unique (std::allocate_shared with the
+//    SlabStdAllocator is the sanctioned replacement and stays silent);
+//  * growth-capable mutation of std containers (push_back, emplace_back,
+//    emplace, insert, resize, reserve, append, push_front) — receivers whose
+//    class matches AllowedContainersRegex (magesim's own no-steady-state-
+//    alloc structures) are exempt.
+//
+// Deliberate exceptions carry
+// `// magesim-lint: allow(hotpath-alloc): <reason>`.
+#ifndef MAGESIM_TOOLS_TIDY_HOTPATH_ALLOC_CHECK_H_
+#define MAGESIM_TOOLS_TIDY_HOTPATH_ALLOC_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang {
+namespace tidy {
+namespace magesim {
+
+class HotpathAllocCheck : public ClangTidyCheck {
+ public:
+  HotpathAllocCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string AllowedContainersRegexStr;
+  llvm::Regex AllowedContainersRegex;
+};
+
+}  // namespace magesim
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // MAGESIM_TOOLS_TIDY_HOTPATH_ALLOC_CHECK_H_

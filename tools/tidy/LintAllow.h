@@ -1,0 +1,99 @@
+// Shared inline-allowlist support for the magesim clang-tidy checks.
+//
+// Every magesim-* check honors the repo's own suppression syntax in addition
+// to clang-tidy's NOLINT:
+//
+//   stats_.push_back(x);  // magesim-lint: allow(hotpath-alloc): reserve()d
+//
+// The annotation may sit on the flagged line or anywhere in the contiguous
+// block of comment-only lines directly above it (so a justification can wrap
+// onto several lines). The parenthesized list names one or more check slugs
+// (the check name minus the "magesim-" prefix) or "all". Everything after
+// the closing paren is the human justification — required by review policy
+// (docs/INTERNALS.md §15), not by the tool.
+//
+// The same syntax is understood by tools/tidy/magesim_tidy_lite.py so a
+// single annotation satisfies both the plugin and the fallback analyzer.
+#ifndef MAGESIM_TOOLS_TIDY_LINT_ALLOW_H_
+#define MAGESIM_TOOLS_TIDY_LINT_ALLOW_H_
+
+#include <cstring>
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace magesim {
+
+inline llvm::StringRef FileLineText(const SourceManager &SM, FileID FID,
+                                    unsigned Line) {
+  if (Line == 0)
+    return {};
+  bool Invalid = false;
+  llvm::StringRef Buf = SM.getBufferData(FID, &Invalid);
+  if (Invalid)
+    return {};
+  SourceLocation Start = SM.translateLineCol(FID, Line, 1);
+  if (Start.isInvalid())
+    return {};
+  unsigned Off = SM.getFileOffset(Start);
+  if (Off >= Buf.size())
+    return {};
+  size_t End = Buf.find('\n', Off);
+  return Buf.slice(Off, End == llvm::StringRef::npos ? Buf.size() : End);
+}
+
+inline bool TextAllows(llvm::StringRef Text, llvm::StringRef Slug) {
+  static constexpr char kTag[] = "magesim-lint: allow(";
+  size_t P = Text.find(kTag);
+  if (P == llvm::StringRef::npos)
+    return false;
+  llvm::StringRef Rest = Text.substr(P + std::strlen(kTag));
+  size_t Close = Rest.find(')');
+  if (Close == llvm::StringRef::npos)
+    return false;
+  llvm::StringRef List = Rest.take_front(Close);
+  llvm::SmallVector<llvm::StringRef, 4> Parts;
+  List.split(Parts, ',');
+  for (llvm::StringRef Part : Parts) {
+    Part = Part.trim();
+    if (Part == Slug || Part == "all")
+      return true;
+  }
+  return false;
+}
+
+// True when the physical line holding `Loc` — or any line in the contiguous
+// run of comment-only lines directly above it — carries a
+// `magesim-lint: allow(<slug>)` annotation covering `Slug`.
+inline bool LineHasAllow(const SourceManager &SM, SourceLocation Loc,
+                         llvm::StringRef Slug) {
+  if (Loc.isInvalid())
+    return false;
+  SourceLocation Exp = SM.getExpansionLoc(Loc);
+  FileID FID = SM.getFileID(Exp);
+  unsigned Line = SM.getExpansionLineNumber(Exp);
+  if (TextAllows(FileLineText(SM, FID, Line), Slug))
+    return true;
+  while (Line > 1) {
+    --Line;
+    llvm::StringRef Text = FileLineText(SM, FID, Line);
+    if (TextAllows(Text, Slug))
+      return true;
+    // Stop at the first non-comment line. Spelled without
+    // StringRef::starts_with/startswith: neither exists across all of
+    // LLVM 14..19.
+    llvm::StringRef T = Text.ltrim();
+    if (T.size() < 2 || T[0] != '/' || T[1] != '/')
+      return false;
+  }
+  return false;
+}
+
+}  // namespace magesim
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // MAGESIM_TOOLS_TIDY_LINT_ALLOW_H_

@@ -1,0 +1,46 @@
+// magesim-tidy: the project's clang-tidy module (loaded with
+// `clang-tidy -load libMagesimTidy.so -checks=magesim-*`).
+//
+// Five checks encode invariants no stock tool knows about — determinism
+// (no-wallclock, unordered-iteration), coroutine lifetime
+// (coroutine-ref-capture), hot-path allocation discipline (hotpath-alloc),
+// and static GuardedBy enforcement (guardedby-static). Catalog and
+// allowlist policy: docs/INTERNALS.md §15.
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "CoroutineRefCaptureCheck.h"
+#include "GuardedbyStaticCheck.h"
+#include "HotpathAllocCheck.h"
+#include "NoWallclockCheck.h"
+#include "UnorderedIterationCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace magesim {
+
+class MagesimModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<NoWallclockCheck>("magesim-no-wallclock");
+    Factories.registerCheck<UnorderedIterationCheck>(
+        "magesim-unordered-iteration");
+    Factories.registerCheck<CoroutineRefCaptureCheck>(
+        "magesim-coroutine-ref-capture");
+    Factories.registerCheck<HotpathAllocCheck>("magesim-hotpath-alloc");
+    Factories.registerCheck<GuardedbyStaticCheck>("magesim-guardedby-static");
+  }
+};
+
+}  // namespace magesim
+
+// Register the module with clang-tidy's global registry at load time.
+static ClangTidyModuleRegistry::Add<magesim::MagesimModule>
+    X("magesim-module", "Adds magesim-specific determinism/coroutine/"
+                        "hot-path/locking checks.");
+
+}  // namespace tidy
+}  // namespace clang
+
+// Anchor so the shared object exports at least one symbol unconditionally.
+volatile int MagesimTidyModuleAnchorSource = 0;

@@ -1,0 +1,80 @@
+#include "UnorderedIterationCheck.h"
+
+#include "LintAllow.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace magesim {
+
+// Default sink vocabulary: golden-trace emission, metrics/report writers,
+// victim selection, and growth of an ordered output sequence (building a
+// result vector in hash order is the classic leak — callers serialize it).
+static const char kDefaultSinkRegex[] =
+    "^(TraceEmit|Emit.*|Record|Export.*|Report.*|Print.*|Write.*|KV|String|"
+    "AppendRow|push_back|emplace_back|insert|emplace|SelectVictims?|"
+    "IsolateVictims?)$";
+
+UnorderedIterationCheck::UnorderedIterationCheck(StringRef Name,
+                                                ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SinkRegexStr(Options.get("SinkRegex", kDefaultSinkRegex)),
+      SinkRegex(SinkRegexStr) {}
+
+void UnorderedIterationCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "SinkRegex", SinkRegexStr);
+}
+
+void UnorderedIterationCheck::registerMatchers(MatchFinder *Finder) {
+  auto UnorderedRecord = classTemplateSpecializationDecl(hasAnyName(
+      "::std::unordered_map", "::std::unordered_set",
+      "::std::unordered_multimap", "::std::unordered_multiset"));
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(qualType(hasUnqualifiedDesugaredType(
+              recordType(hasDeclaration(UnorderedRecord))))))))
+          .bind("loop"),
+      this);
+}
+
+void UnorderedIterationCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+  if (Loop == nullptr || Loop->getBody() == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc = Loop->getBeginLoc();
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc))
+    return;
+  if (LineHasAllow(SM, Loc, "unordered-iteration"))
+    return;
+
+  // Scan the loop body for calls whose callee name is a sink.
+  const Stmt *Body = Loop->getBody();
+  auto Calls = match(findAll(callExpr().bind("c")), *Body, *Result.Context);
+  for (const auto &BN : Calls) {
+    const auto *Call = BN.getNodeAs<CallExpr>("c");
+    if (Call == nullptr)
+      continue;
+    const FunctionDecl *Callee = Call->getDirectCallee();
+    if (Callee == nullptr)
+      continue;
+    if (const IdentifierInfo *II = Callee->getIdentifier()) {
+      if (SinkRegex.match(II->getName())) {
+        diag(Loc, "iteration over an unordered container feeds '%0' (trace/"
+                  "metrics/victim-selection sink); hash order leaks into "
+                  "output — iterate a sorted copy, use an ordered container, "
+                  "or justify with '// magesim-lint: "
+                  "allow(unordered-iteration): <reason>'")
+            << II->getName();
+        diag(Call->getBeginLoc(), "sink call is here", DiagnosticIDs::Note);
+        return;  // one diagnostic per loop
+      }
+    }
+  }
+}
+
+}  // namespace magesim
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,42 @@
+// magesim-unordered-iteration: flag range-for loops over unordered
+// containers whose bodies reach trace sinks, metrics/report export, or
+// victim selection.
+//
+// Iterating an unordered_map/unordered_set visits elements in pointer/hash
+// order — stable within one run but not across allocator or libstdc++
+// changes, so any such order leaking into the golden trace stream, a
+// metrics/report file, or an eviction victim list is a latent determinism
+// break. Order-independent bodies (summing a counter, freeing every node)
+// are fine and stay silent.
+//
+// "Reaches a sink" is approximated as: the loop body (transitively, at the
+// AST level of this translation unit) contains a call whose callee name
+// matches SinkRegex. That is deliberately lexical — same contract as the
+// lite fallback — and tuned to this codebase's sink vocabulary.
+#ifndef MAGESIM_TOOLS_TIDY_UNORDERED_ITERATION_CHECK_H_
+#define MAGESIM_TOOLS_TIDY_UNORDERED_ITERATION_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang {
+namespace tidy {
+namespace magesim {
+
+class UnorderedIterationCheck : public ClangTidyCheck {
+ public:
+  UnorderedIterationCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string SinkRegexStr;
+  llvm::Regex SinkRegex;
+};
+
+}  // namespace magesim
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // MAGESIM_TOOLS_TIDY_UNORDERED_ITERATION_CHECK_H_
